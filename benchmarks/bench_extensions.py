@@ -1,0 +1,76 @@
+"""Extension studies: PVT corners, noise robustness, ReRAM endurance.
+
+Beyond-the-paper analyses built on the same substrates (see
+``repro.experiments.extensions`` for the rationale of each).
+"""
+
+from conftest import emit
+
+from repro import constants
+from repro.experiments.extensions import (
+    corner_sweep,
+    endurance_analysis,
+    format_corner_sweep,
+    format_endurance,
+    format_noise_robustness,
+    format_seqlen_sweep,
+    noise_robustness_sweep,
+    pipeline_seqlen_sweep,
+)
+
+
+def test_corner_sweep(benchmark):
+    result = benchmark.pedantic(
+        corner_sweep, kwargs={"n_samples": 120, "seed": 0}, rounds=1, iterations=1
+    )
+    # Ratiometric charge sharing: corners shift the MAC voltage by far
+    # less than an LSB, and sigma stays in the TT band.
+    assert result.worst_mean_shift_mv < 0.2
+    assert result.worst_three_sigma_mv < constants.LSB_VOLT * 1e3
+    benchmark.extra_info["worst_three_sigma_mv"] = result.worst_three_sigma_mv
+    emit("Extension — PVT corner sweep", format_corner_sweep(result))
+
+
+def test_noise_robustness(benchmark):
+    result = benchmark.pedantic(
+        noise_robustness_sweep, kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    # At the calibrated (1x) point the network barely notices; at 16x the
+    # degradation must be visible — i.e. the sweep spans the cliff.
+    one_x = next(p for p in result.points if p.noise_scale == 1.0)
+    worst = result.points[-1]
+    assert one_x.loss_percent < 2.0
+    assert worst.loss_percent > one_x.loss_percent
+    benchmark.extra_info["loss_at_1x"] = one_x.loss_percent
+    benchmark.extra_info["loss_at_max"] = worst.loss_percent
+    emit("Extension — noise robustness sweep", format_noise_robustness(result))
+
+
+def test_pipeline_seqlen_sweep(benchmark):
+    result = benchmark.pedantic(
+        pipeline_seqlen_sweep,
+        kwargs={"model_name": "gpt_large", "seq_lens": (64, 256, 1024, 2048)},
+        rounds=1,
+        iterations=1,
+    )
+    # The bottleneck crosses from the fixed QKV stage to the context-
+    # growing score stage at long sequence lengths.
+    assert result.points[0].bottleneck_stage == "qkv"
+    assert result.points[-1].bottleneck_stage == "score"
+    benchmark.extra_info["speedups"] = {p.seq_len: p.speedup for p in result.points}
+    emit("Extension — pipeline speedup vs context length", format_seqlen_sweep(result))
+
+
+def test_endurance(benchmark):
+    result = benchmark.pedantic(
+        endurance_analysis,
+        kwargs={"model_name": "qdqbert", "inferences_per_second": 100.0},
+        rounds=1,
+        iterations=1,
+    )
+    # The quantitative hybrid-memory argument: ReRAM-mapped attention
+    # wears out in days and costs ~2000x more write energy.
+    assert result.reram_lifetime_days < 10
+    assert result.energy_ratio > 1000
+    benchmark.extra_info["lifetime_days"] = result.reram_lifetime_days
+    emit("Extension — ReRAM endurance analysis", format_endurance(result))

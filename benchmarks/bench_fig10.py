@@ -1,0 +1,14 @@
+"""Fig. 10: attention pipeline speedup on five transformer models."""
+
+from conftest import emit
+
+from repro.experiments import format_fig10, run_fig10
+
+
+def test_fig10(benchmark):
+    result = benchmark(run_fig10)
+    benchmark.extra_info["geomean_speedup"] = result.geomean_speedup
+    benchmark.extra_info["range"] = [result.min_speedup, result.max_speedup]
+    assert 1.5 <= result.min_speedup and result.max_speedup <= 4.0
+    assert abs(result.geomean_speedup - 2.33) / 2.33 < 0.2
+    emit("Fig. 10 — pipeline speedup (5 transformers)", format_fig10(result))

@@ -1,0 +1,11 @@
+"""Fig. 1(c): throughput vs energy-efficiency landscape of recent IMCs."""
+
+from conftest import emit
+
+from repro.experiments import format_fig1c, run_fig1c
+
+
+def test_fig1c(benchmark):
+    result = benchmark(run_fig1c)
+    assert result.frontier_point().kind == "this work"
+    emit("Fig. 1(c) — analog IMC throughput vs energy efficiency", format_fig1c(result))

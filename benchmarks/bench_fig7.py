@@ -1,0 +1,16 @@
+"""Fig. 7: YOCO IMA vs eight prior IMC circuits."""
+
+from conftest import emit
+
+from repro.experiments import format_fig7, run_fig7
+
+
+def test_fig7(benchmark):
+    result = benchmark(run_fig7)
+    lo_e, hi_e = result.ee_range
+    lo_t, hi_t = result.throughput_range
+    benchmark.extra_info["ee_range"] = [lo_e, hi_e]
+    benchmark.extra_info["tput_range"] = [lo_t, hi_t]
+    assert 1.0 < lo_e and hi_e < 50.0
+    assert 10.0 < lo_t and hi_t < 1300.0
+    emit("Fig. 7 — normalized VMM EE / throughput / FoM", format_fig7(result))

@@ -1,0 +1,18 @@
+"""Fig. 8: architecture-level comparison on 10 CNN/transformer models."""
+
+from conftest import emit
+
+from repro.experiments import format_fig8, run_fig8
+from repro.experiments.data import FIG8_PAPER_GEOMEANS
+
+
+def test_fig8(benchmark):
+    result = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    for baseline, paper in FIG8_PAPER_GEOMEANS.items():
+        ee = result.geomean_ee(baseline)
+        tput = result.geomean_tput(baseline)
+        benchmark.extra_info[f"ee_x_{baseline}"] = ee
+        benchmark.extra_info[f"tput_x_{baseline}"] = tput
+        assert abs(ee - paper["ee"]) / paper["ee"] < 0.15
+        assert abs(tput - paper["throughput"]) / paper["throughput"] < 0.15
+    emit("Fig. 8 — normalized efficiency and throughput (10 models)", format_fig8(result))

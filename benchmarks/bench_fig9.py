@@ -1,0 +1,23 @@
+"""Fig. 9: DAC and ADC overhead vs traditional conversion strategies."""
+
+from conftest import emit
+
+from repro.experiments import format_fig9, run_fig9a, run_fig9b
+
+
+def test_fig9a_dac_overhead(benchmark):
+    result = benchmark(run_fig9a)
+    benchmark.extra_info["area_ratio"] = result.area_ratio
+    benchmark.extra_info["energy_ratio"] = result.energy_ratio
+    benchmark.extra_info["latency_ratio"] = result.latency_ratio
+    assert round(result.area_ratio) == 352
+    assert round(result.energy_ratio) == 9
+    emit("Fig. 9(a) — DAC overhead", format_fig9(a=result, b=run_fig9b()))
+
+
+def test_fig9b_adc_overhead(benchmark):
+    result = benchmark(run_fig9b)
+    benchmark.extra_info["saving_vs_serial"] = result.saving_vs_serial_percent
+    benchmark.extra_info["saving_vs_weighted"] = result.saving_vs_weighted_percent
+    assert abs(result.saving_vs_serial_percent - 98.4) < 0.1
+    assert abs(result.saving_vs_weighted_percent - 87.5) < 0.1

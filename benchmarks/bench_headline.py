@@ -1,0 +1,31 @@
+"""Headline claim: 123.8 TOPS/W and 34.9 TOPS for 8-bit 1024x256 VMMs.
+
+Times one behavioral fast-path VMM batch and reports the modeled silicon
+metrics alongside (the benchmark measures simulator speed; the chip numbers
+come from the Table II roll-up the simulation bills against).
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.core import FastIMA, IMAConfig
+
+
+def test_headline_vmm(benchmark):
+    cfg = IMAConfig()
+    ima = FastIMA(config=cfg, seed=0)
+    rng = np.random.default_rng(0)
+    ima.program_weights(rng.integers(0, 256, (cfg.input_dim, cfg.output_dim)))
+    batch = rng.integers(0, 256, (64, cfg.input_dim))
+
+    codes = benchmark(ima.vmm_batch, batch)
+    assert codes.shape == (64, cfg.output_dim)
+    benchmark.extra_info["modeled_tops_per_watt"] = cfg.energy_efficiency_tops_per_watt
+    benchmark.extra_info["modeled_tops"] = cfg.throughput_tops
+    emit(
+        "Headline — IMA circuit metrics",
+        f"energy efficiency: {cfg.energy_efficiency_tops_per_watt:.1f} TOPS/W (paper 123.8)\n"
+        f"throughput:        {cfg.throughput_tops:.1f} TOPS (paper 34.9)\n"
+        f"VMM energy:        {cfg.vmm_energy_pj / 1e3:.3f} nJ (paper ~4.235 nJ)\n"
+        f"VMM latency:       {cfg.vmm_latency_ns:.1f} ns (paper < 15 ns)",
+    )

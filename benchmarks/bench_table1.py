@@ -1,0 +1,11 @@
+"""Table I: ADC/DAC cost design-space comparison."""
+
+from conftest import emit
+
+from repro.experiments import format_table1, run_table1
+
+
+def test_table1(benchmark):
+    rows = benchmark(run_table1)
+    assert len(rows) == 6
+    emit("Table I — ADCs/DACs cost comparison", format_table1())

@@ -1,0 +1,14 @@
+"""Table II: the YOCO parameter summary, regenerated from the config."""
+
+from conftest import emit
+
+from repro.experiments import format_table2, run_table2
+
+
+def test_table2(benchmark):
+    result = benchmark(run_table2)
+    benchmark.extra_info["tops_per_watt"] = result.efficiency_tops_per_watt
+    benchmark.extra_info["tops"] = result.throughput_tops
+    benchmark.extra_info["chip_area_mm2"] = result.chip_area_mm2
+    assert abs(result.efficiency_tops_per_watt - 123.8) / 123.8 < 0.002
+    emit("Table II — summary of YOCO parameters", format_table2(result))

@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one table/figure of the paper and prints the
+same rows/series the paper reports (run with ``-s`` to see them inline);
+key measured numbers also land in ``extra_info`` of the benchmark JSON.
+"""
+
+import sys
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled artifact block."""
+    bar = "=" * max(len(title), 8)
+    sys.stdout.write(f"\n{bar}\n{title}\n{bar}\n{body}\n")

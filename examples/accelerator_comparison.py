@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Architecture shoot-out: YOCO vs ISAAC / RAELLA / TIMELY on real layer maps.
+
+Reproduces the Fig. 8 methodology on a chosen network: every layer of the
+workload is mapped onto each accelerator's compute grain with the same
+weight-stationary mapper, and the per-layer energy/latency roll-ups are
+compared.  Prints the per-layer detail for the chosen model plus the
+all-model geomean summary the paper reports.
+
+Run:  python examples/accelerator_comparison.py [model]
+      (default model: resnet18; try vgg16, qdqbert, llama3_7b, ...)
+"""
+
+import sys
+
+from repro.arch import ArchitectureSimulator, yoco_spec
+from repro.baselines import isaac_spec, raella_spec, timely_spec
+from repro.experiments import format_fig8, run_fig8
+from repro.experiments.report import format_table
+from repro.models import BENCHMARK_MODELS, get_workload
+
+
+def main() -> None:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "resnet18"
+    if model_name not in BENCHMARK_MODELS:
+        raise SystemExit(f"unknown model {model_name!r}; pick from {BENCHMARK_MODELS}")
+    workload = get_workload(model_name)
+    print(f"=== {workload.description} ===")
+    print(f"layers: {len(workload.layers)}, "
+          f"MACs: {workload.total_macs / 1e9:.2f} G, "
+          f"weights: {workload.total_weight_bytes / 1e6:.1f} MB\n")
+
+    specs = {
+        "yoco": yoco_spec(),
+        "isaac": isaac_spec(),
+        "raella": raella_spec(),
+        "timely": timely_spec(),
+    }
+    runs = {name: ArchitectureSimulator(spec).run(workload) for name, spec in specs.items()}
+
+    rows = []
+    for name, run in runs.items():
+        breakdown = run.energy_breakdown_pj()
+        rows.append(
+            (
+                name,
+                f"{run.energy_pj / 1e6:.2f}",
+                f"{run.latency_ns / 1e3:.1f}",
+                f"{run.efficiency_tops_per_watt:.1f}",
+                f"{run.throughput_tops:.2f}",
+                f"{100 * breakdown['compute'] / run.energy_pj:.0f}%",
+                f"{100 * breakdown['weight_writes'] / run.energy_pj:.0f}%",
+                f"{run.mean_utilization():.2f}",
+            )
+        )
+    print(format_table(
+        ("accel", "energy uJ", "latency us", "TOPS/W", "TOPS",
+         "compute%", "writes%", "util"),
+        rows,
+    ))
+
+    yoco_run = runs["yoco"]
+    print("\nmost expensive YOCO layers:")
+    worst = sorted(yoco_run.layers, key=lambda l: -l.energy_pj)[:5]
+    print(format_table(
+        ("layer", "energy pJ", "latency ns", "VMMs", "util"),
+        [
+            (l.layer_name, f"{l.energy_pj:.0f}", f"{l.latency_ns:.0f}",
+             l.vmm_count, f"{l.utilization:.2f}")
+            for l in worst
+        ],
+    ))
+
+    print("\n=== Fig. 8: all ten benchmarks, normalized to the baselines ===")
+    print(format_fig8(run_fig8()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Circuit characterisation: regenerate the Fig. 6 analog accuracy study.
+
+Runs the in-charge array and IMA through the paper's measurement protocol:
+transfer curves with INL/DNL, the 128-channel MAC sweeps, a Monte-Carlo PVT
+run, and the end-to-end error stack — printing ASCII sparklines of the
+curves so the shapes are visible in a terminal.
+
+Run:  python examples/circuit_characterization.py [--full]
+      (--full uses the paper's 2000 Monte-Carlo samples; default 400)
+"""
+
+import sys
+
+import numpy as np
+
+from repro import constants
+from repro.experiments.fig6 import run_fig6a, run_fig6bc, run_fig6d, run_fig6e
+
+SPARK = " .:-=+*#%@"
+
+
+def sparkline(values: np.ndarray, width: int = 64) -> str:
+    """Down-sample a series into a ten-level ASCII sparkline."""
+    arr = np.asarray(values, dtype=float)
+    idx = np.linspace(0, arr.size - 1, width).astype(int)
+    sampled = arr[idx]
+    span = sampled.max() - sampled.min()
+    if span == 0:
+        return SPARK[0] * width
+    levels = ((sampled - sampled.min()) / span * (len(SPARK) - 1)).astype(int)
+    return "".join(SPARK[l] for l in levels)
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    mc_samples = 2000 if full else 400
+
+    print("=== Fig. 6(a): DAC-less input conversion ===")
+    a = run_fig6a(seed=0)
+    print(f"transfer curve:  |{sparkline(a.curve.voltages)}|")
+    print(f"INL (LSB):       |{sparkline(a.curve.inl_lsb)}|")
+    print(f"max |INL| = {a.max_abs_inl_lsb:.2f} LSB, "
+          f"max |DNL| = {a.max_abs_dnl_lsb:.2f} LSB  (paper: < 2, typ < 1)")
+
+    print("\n=== Fig. 6(b,c): 8-bit MAC with 128 channels ===")
+    bc = run_fig6bc(seed=0, step=2)
+    print(f"W-sweep @ IN=255: |{sparkline(bc.weight_sweep_voltages)}|")
+    print(f"IN-sweep @ W=255: |{sparkline(bc.input_sweep_voltages)}|")
+    print(f"max MAC error: {bc.max_error_percent:.3f} %  (paper: < 0.68 %)")
+
+    print(f"\n=== Fig. 6(d): Monte-Carlo, n={mc_samples}, TT corner, 25 C ===")
+    d = run_fig6d(n_samples=mc_samples, seed=42)
+    counts, _ = d.histogram(bins=31)
+    print(f"offset histogram: |{sparkline(counts.astype(float), width=31)}|")
+    print(f"3 sigma = {d.three_sigma * 1e3:.2f} mV vs LSB "
+          f"{constants.LSB_VOLT * 1e3:.2f} mV  (paper: 2.25 vs 3.52)")
+    print(f"offset range: [{d.offsets().min() * 1e3:+.3f}, "
+          f"{d.offsets().max() * 1e3:+.3f}] mV "
+          f"(paper: [-2.665, +3.035] mV)")
+
+    print("\n=== Fig. 6(e): end-to-end error stack ===")
+    e = run_fig6e(seed=0, n_vectors=8)
+    print(f"array MAC error:       {e.mac_error_percent:.3f} %  (< 0.68)")
+    print(f"time-domain acc error: {e.tda_error_percent:.3f} %  (< 0.11)")
+    print(f"end-to-end IMA error:  {e.end_to_end_error_percent:.3f} %  (< 0.98)")
+    print("\nvs prior designs (published errors):")
+    for label, value in e.bars():
+        bar = "#" * max(1, int(round(value * 8)))
+        print(f"  {label:38s} {value:5.2f} % |{bar}")
+
+
+if __name__ == "__main__":
+    main()

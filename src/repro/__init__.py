@@ -1,0 +1,61 @@
+"""YOCO reproduction: a hybrid in-memory computing architecture with 8-bit
+in-situ multiply arithmetic (DAC 2025).
+
+Package map
+-----------
+``repro.core``
+    The paper's contribution: in-charge computing arrays, time-domain
+    accumulation, IMAs, the hybrid-memory tile/chip and the quantized GEMM
+    engine.
+``repro.analog`` / ``repro.memory`` / ``repro.energy``
+    Behavioral substrates: variation & converter metrics, memory devices,
+    accelergy-style accounting with CACTI-lite.
+``repro.nn`` / ``repro.models``
+    Trainable NN substrate with analog-error backends; the 10-model
+    benchmark workload zoo.
+``repro.arch`` / ``repro.baselines``
+    Architecture simulator, attention pipeline, and the ISAAC / RAELLA /
+    TIMELY baseline models.
+``repro.experiments``
+    One driver per table/figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro.core import InChargeArray
+>>> import numpy as np
+>>> array = InChargeArray(seed=0)
+>>> array.program_weights(np.full((128, 32), 200))
+>>> volts = array.vmm_voltages(np.full(128, 100))
+"""
+
+from repro import constants
+from repro.core import (
+    ArrayConfig,
+    Chip,
+    ChipConfig,
+    DetailedIMA,
+    FastIMA,
+    IMAConfig,
+    InChargeArray,
+    Tile,
+    TileConfig,
+    YocoMatmulEngine,
+    paper_config,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArrayConfig",
+    "Chip",
+    "ChipConfig",
+    "DetailedIMA",
+    "FastIMA",
+    "IMAConfig",
+    "InChargeArray",
+    "Tile",
+    "TileConfig",
+    "YocoMatmulEngine",
+    "constants",
+    "paper_config",
+]

@@ -1,0 +1,137 @@
+"""Data-converter and MAC accuracy metrics.
+
+Implements the standard ADC/DAC linearity measures the paper reports in
+Fig. 6(a) (INL/DNL of the DAC-less input conversion) plus the normalized MAC
+error used in Fig. 6(b,c,e).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class TransferCurve:
+    """A measured code -> voltage transfer curve.
+
+    Attributes
+    ----------
+    codes:
+        Digital input codes, ascending.
+    voltages:
+        Measured analog output per code, volts.
+    lsb_volt:
+        Nominal LSB size used to normalize INL/DNL.
+    """
+
+    codes: np.ndarray
+    voltages: np.ndarray
+    lsb_volt: float
+
+    def __post_init__(self) -> None:
+        if len(self.codes) != len(self.voltages):
+            raise ValueError("codes and voltages must have equal length")
+        if len(self.codes) < 2:
+            raise ValueError("a transfer curve needs at least two points")
+        if self.lsb_volt <= 0.0:
+            raise ValueError("lsb_volt must be positive")
+
+    @property
+    def dnl_lsb(self) -> np.ndarray:
+        """Differential nonlinearity per code step, in LSB."""
+        return differential_nonlinearity(self.voltages, self.lsb_volt)
+
+    @property
+    def inl_lsb(self) -> np.ndarray:
+        """Integral nonlinearity per code, in LSB (endpoint fit)."""
+        return integral_nonlinearity(self.voltages, self.lsb_volt)
+
+    @property
+    def max_abs_dnl(self) -> float:
+        return float(np.max(np.abs(self.dnl_lsb)))
+
+    @property
+    def max_abs_inl(self) -> float:
+        return float(np.max(np.abs(self.inl_lsb)))
+
+    def is_monotonic(self) -> bool:
+        """True when the curve never decreases with increasing code."""
+        return bool(np.all(np.diff(self.voltages) >= 0.0))
+
+
+def differential_nonlinearity(voltages: Sequence[float], lsb_volt: float) -> np.ndarray:
+    """DNL[i] = (V[i+1] - V[i]) / LSB - 1 for each code step.
+
+    Returns an array one element shorter than ``voltages``.
+    """
+    volts = np.asarray(voltages, dtype=float)
+    if volts.ndim != 1 or volts.size < 2:
+        raise ValueError("voltages must be a 1-D array of length >= 2")
+    if lsb_volt <= 0.0:
+        raise ValueError("lsb_volt must be positive")
+    return np.diff(volts) / lsb_volt - 1.0
+
+
+def integral_nonlinearity(voltages: Sequence[float], lsb_volt: float) -> np.ndarray:
+    """Endpoint-fit INL per code, in LSB.
+
+    The ideal line passes through the first and last measured points; INL is
+    the deviation of each point from that line, normalized by the LSB.
+    """
+    volts = np.asarray(voltages, dtype=float)
+    if volts.ndim != 1 or volts.size < 2:
+        raise ValueError("voltages must be a 1-D array of length >= 2")
+    if lsb_volt <= 0.0:
+        raise ValueError("lsb_volt must be positive")
+    codes = np.arange(volts.size, dtype=float)
+    span = codes[-1] - codes[0]
+    ideal = volts[0] + (volts[-1] - volts[0]) * (codes / span)
+    return (volts - ideal) / lsb_volt
+
+
+def mac_error_fraction(
+    measured_volt: np.ndarray,
+    ideal_volt: np.ndarray,
+    full_scale_volt: float,
+) -> np.ndarray:
+    """Signed MAC error as a fraction of full scale (paper plots percent)."""
+    if full_scale_volt <= 0.0:
+        raise ValueError("full_scale_volt must be positive")
+    measured = np.asarray(measured_volt, dtype=float)
+    ideal = np.asarray(ideal_volt, dtype=float)
+    return (measured - ideal) / full_scale_volt
+
+
+@dataclasses.dataclass(frozen=True)
+class ErrorStats:
+    """Summary statistics of a signed error sample."""
+
+    mean: float
+    std: float
+    rms: float
+    max_abs: float
+    p99_abs: float
+    count: int
+
+    @property
+    def three_sigma(self) -> float:
+        return 3.0 * self.std
+
+
+def error_stats(errors: Sequence[float]) -> ErrorStats:
+    """Summarize a sample of signed errors."""
+    arr = np.asarray(errors, dtype=float).ravel()
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty error sample")
+    abs_arr = np.abs(arr)
+    return ErrorStats(
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        rms=float(np.sqrt(np.mean(arr**2))),
+        max_abs=float(abs_arr.max()),
+        p99_abs=float(np.percentile(abs_arr, 99.0)),
+        count=int(arr.size),
+    )

@@ -1,0 +1,175 @@
+"""Device variation and noise models for the charge-domain simulator.
+
+The paper characterises the in-charge computing array under PVT variation
+with 2 000 Monte-Carlo runs at the TT corner and room temperature, reporting
+a 3-sigma MAC-voltage offset of 2.25 mV against an LSB of 3.52 mV.  The
+:class:`VariationModel` below carries every stochastic knob of the behavioral
+simulation; its defaults are calibrated so the end-to-end statistics land on
+the paper's figures (see ``tests/test_fig6_experiments.py``).
+
+Error mechanisms modeled
+------------------------
+* **Local capacitor mismatch** — each 2 fF MOM unit capacitor deviates by a
+  zero-mean Gaussian relative error; mismatch is *static* per fabricated
+  array instance, so a model samples one mismatch map and reuses it.
+* **Global process corner** — TT/FF/SS shift all capacitors and VTC gain
+  systematically.
+* **Charge injection / clock feed-through** — each switching event injects a
+  small voltage offset onto the shared node.
+* **kT/C sampling noise** — thermal noise of every charge-sharing event,
+  derived from the participating capacitance.
+* **VTC gain error and jitter** — affect the time-domain accumulation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro import constants
+
+
+class Corner(enum.Enum):
+    """Process corner of a Monte-Carlo instance."""
+
+    TT = "tt"
+    FF = "ff"
+    SS = "ss"
+
+    @property
+    def capacitance_scale(self) -> float:
+        """Systematic multiplicative shift of all capacitances."""
+        return _CORNER_CAP_SCALE[self]
+
+    @property
+    def vtc_gain_scale(self) -> float:
+        """Systematic multiplicative shift of VTC conversion gain."""
+        return _CORNER_VTC_SCALE[self]
+
+
+_CORNER_CAP_SCALE = {Corner.TT: 1.0, Corner.FF: 0.97, Corner.SS: 1.03}
+_CORNER_VTC_SCALE = {Corner.TT: 1.0, Corner.FF: 1.04, Corner.SS: 0.96}
+
+
+@dataclasses.dataclass(frozen=True)
+class VariationModel:
+    """Stochastic parameters of one fabricated (simulated) instance.
+
+    Parameters
+    ----------
+    cap_mismatch_sigma:
+        Relative 1-sigma local mismatch of a unit capacitor.  MOM capacitors
+        in 28 nm match to a few tenths of a percent per unit; the default is
+        calibrated against Fig. 6(d).
+    charge_injection_sigma_volt:
+        1-sigma voltage offset injected per charge-sharing event on the
+        shared node (switch charge injection + clock feed-through).
+    enable_ktc_noise:
+        Include kT/C thermal noise on every charge share.
+    vtc_gain_sigma:
+        Relative 1-sigma mismatch of each VTC's voltage-to-time gain.
+    vtc_jitter_sigma_s:
+        RMS timing jitter per VTC stage, in seconds.
+    comparator_offset_sigma_volt:
+        Input-referred offset of the VTC threshold comparator.
+    corner:
+        Global process corner.
+    temperature_c:
+        Junction temperature; enters through a small linear gain drift.
+    """
+
+    cap_mismatch_sigma: float = 0.010
+    charge_injection_sigma_volt: float = 0.60e-3
+    enable_ktc_noise: bool = True
+    vtc_gain_sigma: float = 0.0004
+    vtc_jitter_sigma_s: float = 0.07e-12
+    comparator_offset_sigma_volt: float = 0.15e-3
+    corner: Corner = Corner.TT
+    temperature_c: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.cap_mismatch_sigma < 0.0:
+            raise ValueError("cap_mismatch_sigma must be non-negative")
+        if self.charge_injection_sigma_volt < 0.0:
+            raise ValueError("charge_injection_sigma_volt must be non-negative")
+        if self.vtc_gain_sigma < 0.0 or self.vtc_jitter_sigma_s < 0.0:
+            raise ValueError("VTC variation parameters must be non-negative")
+
+    # -- factory helpers -----------------------------------------------------
+    @classmethod
+    def ideal(cls) -> "VariationModel":
+        """A noiseless instance: every error mechanism switched off."""
+        return cls(
+            cap_mismatch_sigma=0.0,
+            charge_injection_sigma_volt=0.0,
+            enable_ktc_noise=False,
+            vtc_gain_sigma=0.0,
+            vtc_jitter_sigma_s=0.0,
+            comparator_offset_sigma_volt=0.0,
+        )
+
+    @classmethod
+    def typical(cls, corner: Corner = Corner.TT, temperature_c: float = 25.0) -> "VariationModel":
+        """The calibrated default instance at a given corner/temperature."""
+        return cls(corner=corner, temperature_c=temperature_c)
+
+    # -- sampling ------------------------------------------------------------
+    def sample_unit_capacitors(
+        self, shape: Tuple[int, ...], rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw a static map of unit capacitances (farads) of given shape."""
+        nominal = constants.CU_FARAD * self.corner.capacitance_scale
+        if self.cap_mismatch_sigma == 0.0:
+            return np.full(shape, nominal)
+        relative = rng.normal(1.0, self.cap_mismatch_sigma, size=shape)
+        # Capacitance cannot go negative; clip far tail (beyond ~6 sigma).
+        return nominal * np.clip(relative, 0.1, None)
+
+    def charge_injection(
+        self, shape: Tuple[int, ...], rng: np.random.Generator
+    ) -> np.ndarray:
+        """Voltage offsets injected by one bank of switching events."""
+        if self.charge_injection_sigma_volt == 0.0:
+            return np.zeros(shape)
+        return rng.normal(0.0, self.charge_injection_sigma_volt, size=shape)
+
+    def ktc_noise(
+        self,
+        total_capacitance_farad: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """kT/C noise for charge shares with the given total capacitances."""
+        if not self.enable_ktc_noise:
+            return np.zeros_like(np.asarray(total_capacitance_farad, dtype=float))
+        sigma = np.sqrt(constants.KT_JOULE / np.asarray(total_capacitance_farad, dtype=float))
+        return rng.normal(0.0, 1.0, size=sigma.shape) * sigma
+
+    def sample_vtc_gains(
+        self, count: int, nominal_gain_s_per_volt: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Static per-VTC conversion gains (seconds per volt)."""
+        nominal = nominal_gain_s_per_volt * self.corner.vtc_gain_scale
+        nominal *= 1.0 + 2e-4 * (self.temperature_c - 25.0)
+        if self.vtc_gain_sigma == 0.0:
+            return np.full(count, nominal)
+        return nominal * rng.normal(1.0, self.vtc_gain_sigma, size=count)
+
+    def sample_vtc_offsets(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Static input-referred comparator offsets (volts) per VTC."""
+        if self.comparator_offset_sigma_volt == 0.0:
+            return np.zeros(count)
+        return rng.normal(0.0, self.comparator_offset_sigma_volt, size=count)
+
+    def vtc_jitter(self, shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        """Per-conversion timing jitter (seconds)."""
+        if self.vtc_jitter_sigma_s == 0.0:
+            return np.zeros(shape)
+        return rng.normal(0.0, self.vtc_jitter_sigma_s, size=shape)
+
+
+def make_rng(seed: Optional[int]) -> np.random.Generator:
+    """Central RNG factory so that every module seeds the same way."""
+    return np.random.default_rng(seed)

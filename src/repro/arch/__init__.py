@@ -1,0 +1,36 @@
+"""Architecture-level simulation: mapper, cost model and pipeline study."""
+
+from repro.arch.accelerator import AcceleratorSpec, yoco_spec
+from repro.arch.deploy import ChipBackend, DeploymentReport
+from repro.arch.mapper import MappingPlan, map_layer, map_workload
+from repro.arch.pipeline import (
+    FIG10_GEOMETRIES,
+    AttentionGeometry,
+    AttentionPipelineModel,
+    PipelineResult,
+    TokenStages,
+    geometry_for_workload,
+)
+from repro.arch.result import LayerResult, RunResult, geometric_mean
+from repro.arch.simulator import ArchitectureSimulator, PipelinedRunResult
+
+__all__ = [
+    "AcceleratorSpec",
+    "ArchitectureSimulator",
+    "AttentionGeometry",
+    "AttentionPipelineModel",
+    "ChipBackend",
+    "DeploymentReport",
+    "FIG10_GEOMETRIES",
+    "LayerResult",
+    "MappingPlan",
+    "PipelineResult",
+    "PipelinedRunResult",
+    "RunResult",
+    "TokenStages",
+    "geometric_mean",
+    "geometry_for_workload",
+    "map_layer",
+    "map_workload",
+    "yoco_spec",
+]

@@ -1,0 +1,170 @@
+"""Token-level attention pipeline model (Fig. 5(c) / Fig. 10).
+
+The IMC-friendly attention flow processes tokens through five hardware
+stages inside one tile:
+
+1. **QKV** — SIMAs project the embedded token through WQ/WK/WV;
+2. **XFER** — the crossbar moves q/k/v into the DIMAs and appends k as a
+   new weight row of the K-DIMA (SRAM write — cheap, the hybrid-memory
+   payoff);
+3. **SCORE** — the K-DIMA multiplies q_new against all stored keys (and,
+   bidirectionally, the Q-DIMA multiplies stored queries against k_new);
+4. **SFU** — exponentials + flash-style max/normalizer updates;
+5. **AV** — the V-DIMA refines the attention accumulator.
+
+*Layer-wise* execution runs each token's stages back-to-back; the
+*pipelined* schedule overlaps stage ``s`` of token ``t`` with stage
+``s-1`` of token ``t+1`` (distinct hardware resources per stage), so the
+steady-state cost per token is the slowest stage.  Speedup is the ratio —
+exactly what Fig. 10 reports per model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional
+
+from repro.core.config import TileConfig
+from repro.models.workload import ModelKind, WorkloadSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class AttentionGeometry:
+    """Attention dimensions of one transformer benchmark."""
+
+    name: str
+    dim: int
+    kv_dim: int
+    n_heads: int
+    seq_len: int
+    causal: bool
+
+    def __post_init__(self) -> None:
+        if self.dim <= 0 or self.kv_dim <= 0 or self.seq_len <= 0:
+            raise ValueError("dimensions must be positive")
+
+
+#: Attention geometries of the five Fig. 10 transformer benchmarks.
+FIG10_GEOMETRIES = {
+    "gpt_large": AttentionGeometry("gpt_large", 1280, 1280, 20, 1024, causal=True),
+    "mobilebert": AttentionGeometry("mobilebert", 128, 128, 4, 128, causal=False),
+    "qdqbert": AttentionGeometry("qdqbert", 768, 768, 12, 128, causal=False),
+    "vit": AttentionGeometry("vit", 768, 768, 12, 197, causal=False),
+    "llama3_7b": AttentionGeometry("llama3_7b", 4096, 1024, 32, 512, causal=True),
+}
+
+
+def geometry_for_workload(workload: WorkloadSpec) -> AttentionGeometry:
+    """Look up (or derive) the attention geometry of a transformer spec."""
+    if workload.kind is not ModelKind.TRANSFORMER:
+        raise ValueError(f"{workload.name} is not a transformer workload")
+    try:
+        return FIG10_GEOMETRIES[workload.name]
+    except KeyError:
+        raise KeyError(f"no attention geometry registered for {workload.name!r}") from None
+
+
+@dataclasses.dataclass(frozen=True)
+class TokenStages:
+    """Per-stage latencies (ns) of one token through the attention flow."""
+
+    qkv_ns: float
+    xfer_ns: float
+    score_ns: float
+    sfu_ns: float
+    av_ns: float
+
+    def as_list(self) -> List[float]:
+        return [self.qkv_ns, self.xfer_ns, self.score_ns, self.sfu_ns, self.av_ns]
+
+    @property
+    def total_ns(self) -> float:
+        return sum(self.as_list())
+
+    @property
+    def max_ns(self) -> float:
+        return max(self.as_list())
+
+
+@dataclasses.dataclass(frozen=True)
+class PipelineResult:
+    """Fig. 10 outcome for one model."""
+
+    model: str
+    sequential_ns: float
+    pipelined_ns: float
+
+    @property
+    def speedup(self) -> float:
+        return self.sequential_ns / self.pipelined_ns
+
+
+class AttentionPipelineModel:
+    """Evaluates the token pipeline for one tile configuration."""
+
+    def __init__(self, tile: Optional[TileConfig] = None) -> None:
+        self._tile = tile if tile is not None else TileConfig()
+
+    @property
+    def tile(self) -> TileConfig:
+        return self._tile
+
+    # -- stage latencies -------------------------------------------------------------
+    def token_stages(self, geom: AttentionGeometry, token_index: int) -> TokenStages:
+        """Latency of each stage for token ``token_index`` (0-based)."""
+        tile = self._tile
+        ima = tile.ima
+        n_context = token_index + 1
+
+        # Stage 1: QKV projections on the SIMA pool (q: dim->dim, k/v:
+        # dim->kv_dim), one row of activations each.
+        qkv_outputs = geom.dim + 2 * geom.kv_dim
+        qkv_vmms = self._gemm_vmms(k=geom.dim, n=qkv_outputs)
+        qkv_ns = math.ceil(qkv_vmms / tile.n_sima) * ima.vmm_period_ns
+
+        # Stage 2: crossbar transfer of q/k/v plus the K/V-DIMA row writes.
+        xfer_bits = 8 * (geom.dim + 2 * geom.kv_dim)
+        xfer_ns = math.ceil(xfer_bits / 256.0) * tile.crossbar_latency_ns_per_256b
+        xfer_ns += 0.5  # one SRAM wordline row write (k_new appended)
+
+        # Stage 3: score products.  K-DIMA: q_new x K_all^T (k=dim over the
+        # head partitions, n=context).  Bidirectional models also run the
+        # Q-DIMA mirror concurrently on a second DIMA — same latency.
+        score_vmms = self._gemm_vmms(k=geom.dim, n=n_context)
+        score_ns = score_vmms * ima.vmm_period_ns
+
+        # Stage 4: SFU exponentials on the fresh scores (row and, if
+        # bidirectional, column), plus running max/normalizer updates.
+        fresh_scores = n_context if geom.causal else 2 * n_context
+        sfu_ns = math.ceil(3 * fresh_scores / tile.sfu_count) * tile.sfu_latency_ns
+
+        # Stage 5: context refinement on the V-DIMA: exp(S) x V.
+        av_vmms = self._gemm_vmms(k=n_context, n=geom.dim)
+        av_ns = av_vmms * ima.vmm_period_ns
+
+        return TokenStages(
+            qkv_ns=qkv_ns, xfer_ns=xfer_ns, score_ns=score_ns, sfu_ns=sfu_ns, av_ns=av_ns
+        )
+
+    def _gemm_vmms(self, k: int, n: int) -> int:
+        """IMA-grain VMMs for a single-row (m=1) GEMM."""
+        ima = self._tile.ima
+        return math.ceil(k / ima.input_dim) * math.ceil(n / ima.output_dim)
+
+    # -- schedules --------------------------------------------------------------------
+    def evaluate(self, geom: AttentionGeometry) -> PipelineResult:
+        """Sequential vs pipelined latency of one attention layer."""
+        stages = [self.token_stages(geom, t) for t in range(geom.seq_len)]
+        sequential = sum(s.total_ns for s in stages)
+        # Pipelined: tokens enter back-to-back; steady-state issue interval
+        # is the slowest stage of the in-flight window.  The classic
+        # work-conserving bound: startup (first token's full pass) plus one
+        # bottleneck interval per subsequent token.
+        pipelined = stages[0].total_ns + sum(s.max_ns for s in stages[1:])
+        return PipelineResult(
+            model=geom.name, sequential_ns=sequential, pipelined_ns=pipelined
+        )
+
+    def evaluate_workload(self, workload: WorkloadSpec) -> PipelineResult:
+        return self.evaluate(geometry_for_workload(workload))

@@ -1,0 +1,100 @@
+"""Result records of the architecture simulation."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List
+
+from repro.energy.units import tops, tops_per_watt
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerResult:
+    """Cost roll-up of one layer on one accelerator."""
+
+    layer_name: str
+    vmm_count: int
+    compute_energy_pj: float
+    weight_write_energy_pj: float
+    data_movement_energy_pj: float
+    compute_latency_ns: float
+    data_latency_ns: float
+    utilization: float  # active-MAC fraction of the occupied compute grain
+
+    @property
+    def energy_pj(self) -> float:
+        return (
+            self.compute_energy_pj
+            + self.weight_write_energy_pj
+            + self.data_movement_energy_pj
+        )
+
+    @property
+    def latency_ns(self) -> float:
+        """Layer latency with compute/data overlap (double buffering)."""
+        return max(self.compute_latency_ns, self.data_latency_ns)
+
+
+@dataclasses.dataclass(frozen=True)
+class RunResult:
+    """Whole-network cost roll-up of one accelerator."""
+
+    accelerator: str
+    workload: str
+    total_ops: int
+    layers: "tuple[LayerResult, ...]"
+
+    @property
+    def energy_pj(self) -> float:
+        return sum(layer.energy_pj for layer in self.layers)
+
+    @property
+    def latency_ns(self) -> float:
+        return sum(layer.latency_ns for layer in self.layers)
+
+    @property
+    def energy_j(self) -> float:
+        return self.energy_pj * 1e-12
+
+    @property
+    def latency_s(self) -> float:
+        return self.latency_ns * 1e-9
+
+    @property
+    def throughput_tops(self) -> float:
+        """Achieved ops/s over the whole inference."""
+        return tops(self.total_ops, self.latency_s)
+
+    @property
+    def efficiency_tops_per_watt(self) -> float:
+        """Achieved ops/J over the whole inference."""
+        return tops_per_watt(self.total_ops, self.energy_j)
+
+    @property
+    def inferences_per_second(self) -> float:
+        return 1.0 / self.latency_s
+
+    def energy_breakdown_pj(self) -> Dict[str, float]:
+        """Energy grouped by cost category."""
+        return {
+            "compute": sum(l.compute_energy_pj for l in self.layers),
+            "weight_writes": sum(l.weight_write_energy_pj for l in self.layers),
+            "data_movement": sum(l.data_movement_energy_pj for l in self.layers),
+        }
+
+    def mean_utilization(self) -> float:
+        """VMM-weighted mean compute utilization."""
+        total_vmms = sum(l.vmm_count for l in self.layers)
+        if total_vmms == 0:
+            return 0.0
+        return sum(l.utilization * l.vmm_count for l in self.layers) / total_vmms
+
+
+def geometric_mean(values: List[float]) -> float:
+    """Geometric mean (the paper's summary statistic in Figs. 8/10)."""
+    if not values:
+        raise ValueError("cannot take the geometric mean of nothing")
+    if any(v <= 0.0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return float(math.exp(sum(math.log(v) for v in values) / len(values)))

@@ -1,0 +1,261 @@
+"""Architecture simulator: workload specs -> energy / latency roll-ups,
+plus ISAAC-style inter-layer pipelining for streaming inference.
+
+The timeloop/accelergy stand-in.  For each layer the simulator combines the
+mapper's plan with the accelerator's cost coefficients:
+
+* **compute** — unit-VMM count x per-VMM energy, scaled by the active
+  fraction when the design power-gates partial tiles;
+* **weight writes** — dynamic operands (attention K/Q/V) are programmed
+  into units every inference at the design's write cost; static weights are
+  programmed once and amortized away (all designs), but static weights
+  *beyond* the on-chip capacity stream from off-chip every inference;
+* **data movement** — input/output activations through eDRAM-class
+  buffers, inter-tile traffic over the NoC;
+* **latency** — VMM issue over the unit pool, overlapped (double-buffered)
+  with data movement; dynamic-write latency serialises with compute for
+  designs whose compute cells must be reprogrammed mid-inference.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional
+
+from repro.arch.accelerator import AcceleratorSpec, yoco_spec
+from repro.arch.mapper import MappingPlan, map_layer
+from repro.arch.result import LayerResult, RunResult
+from repro.models.workload import LayerSpec, WorkloadSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class PipelinedRunResult:
+    """Streaming (inter-layer pipelined) execution of one workload.
+
+    All layers are resident simultaneously (no weight replication budget);
+    inferences stream through, so the steady-state issue interval is the
+    slowest layer — scaled up when the layers' combined tile demand
+    oversubscribes the unit pool and stages must time-share.
+    """
+
+    run: RunResult  # the per-inference (batch-1) roll-up, for energy
+    interval_ns: float  # steady-state time between finished inferences
+    fill_ns: float  # pipeline fill latency (first inference)
+    oversubscription: float  # combined tiles / available units (>= 1)
+
+    @property
+    def steady_throughput_tops(self) -> float:
+        return self.run.total_ops / (self.interval_ns * 1e-9) / 1e12
+
+    @property
+    def steady_inferences_per_second(self) -> float:
+        return 1e9 / self.interval_ns
+
+    @property
+    def speedup_over_sequential(self) -> float:
+        """Streaming gain over running the same resident layers in series.
+
+        ``fill_ns`` *is* the sequential (unreplicated, layer-by-layer) pass,
+        so this is the classic sum-over-max pipeline ratio, shrunk by any
+        unit oversubscription.  Note that a *replicated* batch-1 execution
+        (``ArchitectureSimulator.run``) can beat streaming on models far
+        below the weight-capacity limit — replication and layer-pipelining
+        compete for the same units.
+        """
+        return self.fill_ns / self.interval_ns
+
+
+class ArchitectureSimulator:
+    """Evaluate workloads on one accelerator model.
+
+    Parameters
+    ----------
+    spec:
+        The accelerator; defaults to YOCO's Table II derivation.
+    weights_resident:
+        When True (default), static weights are assumed pre-loaded before
+        the inference — the timeloop/accelergy methodology the paper uses,
+        where each layer is mapped with its weights in place.  When False,
+        static weights beyond the on-chip capacity stream over the off-chip
+        link every inference (a harsher, deployment-style accounting; see
+        the capacity-ablation benchmark).
+    """
+
+    def __init__(
+        self,
+        spec: Optional[AcceleratorSpec] = None,
+        weights_resident: bool = True,
+    ) -> None:
+        self._spec = spec if spec is not None else yoco_spec()
+        self._weights_resident = weights_resident
+
+    @property
+    def spec(self) -> AcceleratorSpec:
+        return self._spec
+
+    @property
+    def weights_resident(self) -> bool:
+        return self._weights_resident
+
+    # -- per-layer ------------------------------------------------------------------
+    def simulate_layer(
+        self,
+        layer: LayerSpec,
+        static_overflow: bool = False,
+        max_replicas: int = 1,
+    ) -> LayerResult:
+        """Cost one layer.
+
+        Parameters
+        ----------
+        static_overflow:
+            True when this layer's static weights did not fit on-chip and
+            must stream over the off-chip link each inference.
+        max_replicas:
+            How many copies of the layer's weight tiles the chip can afford
+            to pin (capacity-bounded weight replication for throughput —
+            the standard timeloop/ISAAC technique).  Dynamic operands never
+            replicate: a copy would have to be written per inference.
+        """
+        spec = self._spec
+        plan = map_layer(layer, spec)
+        compute = self._compute_energy_pj(plan)
+        writes = self._weight_write_energy_pj(plan)
+        data, data_ns = self._data_movement(plan, static_overflow)
+        replicas = 1 if not layer.static_weights else max(1, max_replicas)
+        compute_ns = self._compute_latency_ns(plan, replicas)
+        return LayerResult(
+            layer_name=layer.name,
+            vmm_count=plan.vmm_count,
+            compute_energy_pj=compute,
+            weight_write_energy_pj=writes,
+            data_movement_energy_pj=data,
+            compute_latency_ns=compute_ns,
+            data_latency_ns=data_ns,
+            utilization=plan.utilization,
+        )
+
+    # -- whole network ----------------------------------------------------------------
+    def run(self, workload: WorkloadSpec) -> RunResult:
+        """Cost a full inference of one workload."""
+        spec = self._spec
+        overflow_layers = self._overflow_layers(workload)
+        replicas = self._replication_budget(workload)
+        layers = tuple(
+            self.simulate_layer(
+                layer,
+                static_overflow=(layer.name in overflow_layers),
+                max_replicas=replicas,
+            )
+            for layer in workload.layers
+        )
+        return RunResult(
+            accelerator=spec.name,
+            workload=workload.name,
+            total_ops=workload.total_ops,
+            layers=layers,
+        )
+
+    def _replication_budget(self, workload: WorkloadSpec) -> int:
+        """Weight copies the chip can pin: floor(capacity / model weights)."""
+        weights = workload.total_weight_bytes
+        if weights == 0:
+            return self._spec.n_units
+        return max(1, self._spec.weight_capacity_bytes // weights)
+
+    # -- streaming execution -------------------------------------------------------
+    def run_layer_pipelined(self, workload: WorkloadSpec) -> PipelinedRunResult:
+        """Stream inferences through all layers concurrently (ISAAC-style).
+
+        Every layer keeps its weights resident and processes inference
+        ``i`` while its successor processes ``i-1``; the steady interval is
+        the slowest layer's per-inference latency.  When the layers'
+        combined tile footprint exceeds the unit pool, stages time-share
+        and the interval stretches by the oversubscription factor.
+        """
+        spec = self._spec
+        plans = [map_layer(layer, spec) for layer in workload.layers]
+        total_tiles = sum(plan.tiles_per_instance for plan in plans)
+        oversubscription = max(1.0, total_tiles / spec.n_units)
+        # Per-layer latency with exactly one copy of each layer resident.
+        latencies = [
+            self._compute_latency_ns(plan, max_replicas=1) for plan in plans
+        ]
+        interval = max(latencies) * oversubscription
+        run = self.run(workload)
+        return PipelinedRunResult(
+            run=run,
+            interval_ns=interval,
+            fill_ns=sum(latencies),
+            oversubscription=oversubscription,
+        )
+
+    # -- cost components ---------------------------------------------------------------
+    def _compute_energy_pj(self, plan: MappingPlan) -> float:
+        spec = self._spec
+        per_vmm = spec.unit_vmm_energy_pj
+        if spec.power_gating:
+            # Power gating cannot drop below one active array row/column,
+            # so floor the scaling at the per-unit minimum granularity.
+            fraction = max(plan.active_mac_fraction, 1.0 / 64.0)
+            per_vmm = per_vmm * fraction
+        return plan.vmm_count * per_vmm
+
+    def _weight_write_energy_pj(self, plan: MappingPlan) -> float:
+        layer = plan.layer
+        if layer.static_weights:
+            return 0.0  # programmed once; amortized over the deployment
+        bits = layer.dynamic_weight_bytes * 8
+        return bits * self._spec.dynamic_write_pj_per_bit
+
+    def _data_movement(self, plan: MappingPlan, static_overflow: bool) -> "tuple[float, float]":
+        spec = self._spec
+        layer = plan.layer
+        # Inputs are fetched once per K-tile row and multicast across
+        # N-tiles; outputs written once; both traverse eDRAM + NoC.
+        input_bits = layer.input_bytes * 8
+        output_bits = layer.output_bytes * 8
+        act_bits = input_bits + output_bits
+        energy = act_bits * (spec.edram_pj_per_bit + spec.noc_pj_per_bit)
+        latency_ns = 0.0
+        if static_overflow:
+            weight_bits = layer.weight_bytes * 8
+            energy += weight_bits * spec.offchip_pj_per_bit
+            latency_ns += (weight_bits / 8.0) / spec.offchip_gbps  # bytes / (GB/s) = ns
+        return energy, latency_ns
+
+    def _compute_latency_ns(self, plan: MappingPlan, max_replicas: int) -> float:
+        spec = self._spec
+        # Parallelism is bounded by how many units hold (a copy of) this
+        # layer's tiles, never by more units than exist.
+        effective_units = min(spec.n_units, plan.tiles_per_instance * max_replicas)
+        waves = math.ceil(plan.vmm_count / effective_units)
+        latency = waves * spec.unit_vmm_latency_ns
+        if not plan.layer.static_weights:
+            # Dynamic operands must be programmed before compute; rows of
+            # each tile write in parallel across units.
+            rows = min(plan.layer.gemm.k, spec.unit_input_dim)
+            latency += rows * spec.dynamic_write_ns_per_row
+        return latency
+
+    def _overflow_layers(self, workload: WorkloadSpec) -> "set[str]":
+        """Greedy first-fit of static weights into on-chip capacity.
+
+        Layers that do not fit stream from off-chip each inference — this
+        is what makes LLaMA-7B behave differently from the small models.
+        Under the default weights-resident methodology no layer overflows.
+        """
+        if self._weights_resident:
+            return set()
+        remaining = self._spec.weight_capacity_bytes
+        overflow: "set[str]" = set()
+        for layer in workload.layers:
+            need = layer.weight_bytes
+            if need == 0:
+                continue
+            if need <= remaining:
+                remaining -= need
+            else:
+                overflow.add(layer.name)
+        return overflow

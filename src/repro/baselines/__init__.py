@@ -1,0 +1,22 @@
+"""Baseline accelerator models: ISAAC, TIMELY and RAELLA re-modeled at
+28 nm on area-normalized dies, as the paper's Fig. 8 methodology does."""
+
+from repro.baselines.base import (
+    ConversionCost,
+    adc_conversions_per_mac,
+    dac_energy_pj,
+    sar_adc_energy_pj,
+)
+from repro.baselines.isaac import isaac_spec
+from repro.baselines.raella import raella_spec
+from repro.baselines.timely import timely_spec
+
+__all__ = [
+    "ConversionCost",
+    "adc_conversions_per_mac",
+    "dac_energy_pj",
+    "isaac_spec",
+    "raella_spec",
+    "sar_adc_energy_pj",
+    "timely_spec",
+]

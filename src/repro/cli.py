@@ -1,0 +1,148 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+    python -m repro table2
+    python -m repro fig8
+    python -m repro fig6f --quick
+    python -m repro all --quick
+
+Each subcommand prints the same rows/series the corresponding table or
+figure in the paper shows (the benchmark suite wraps the same drivers with
+assertions and timing).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import (
+    format_fig10,
+    format_fig1c,
+    format_fig6,
+    format_fig7,
+    format_fig8,
+    format_fig9,
+    format_table1,
+    format_table2,
+    run_fig6a,
+    run_fig6bc,
+    run_fig6d,
+    run_fig6e,
+    run_fig6f,
+)
+from repro.experiments.report import section
+
+
+def _table1(args: argparse.Namespace) -> str:
+    return format_table1()
+
+
+def _table2(args: argparse.Namespace) -> str:
+    return format_table2()
+
+
+def _fig1c(args: argparse.Namespace) -> str:
+    return format_fig1c()
+
+
+def _fig6a(args: argparse.Namespace) -> str:
+    return format_fig6(a=run_fig6a(seed=args.seed))
+
+
+def _fig6bc(args: argparse.Namespace) -> str:
+    step = 4 if args.quick else 1
+    return format_fig6(bc=run_fig6bc(seed=args.seed, step=step))
+
+
+def _fig6d(args: argparse.Namespace) -> str:
+    n = 400 if args.quick else 2000
+    return format_fig6(d=run_fig6d(n_samples=n, seed=args.seed))
+
+
+def _fig6e(args: argparse.Namespace) -> str:
+    return format_fig6(e=run_fig6e(seed=args.seed))
+
+
+def _fig6f(args: argparse.Namespace) -> str:
+    return format_fig6(f=run_fig6f(quick=args.quick, seed=args.seed))
+
+
+def _fig7(args: argparse.Namespace) -> str:
+    return format_fig7()
+
+
+def _fig8(args: argparse.Namespace) -> str:
+    return format_fig8()
+
+
+def _fig9(args: argparse.Namespace) -> str:
+    return format_fig9()
+
+
+def _fig10(args: argparse.Namespace) -> str:
+    return format_fig10()
+
+
+_COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
+    "table1": _table1,
+    "table2": _table2,
+    "fig1c": _fig1c,
+    "fig6a": _fig6a,
+    "fig6bc": _fig6bc,
+    "fig6d": _fig6d,
+    "fig6e": _fig6e,
+    "fig6f": _fig6f,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "fig10": _fig10,
+}
+
+_TITLES: Dict[str, str] = {
+    "table1": "Table I - ADCs/DACs cost comparison",
+    "table2": "Table II - summary of YOCO parameters",
+    "fig1c": "Fig. 1(c) - IMC throughput vs energy efficiency",
+    "fig6a": "Fig. 6(a) - input conversion TC + INL/DNL",
+    "fig6bc": "Fig. 6(b,c) - 8-bit MAC TCs and error",
+    "fig6d": "Fig. 6(d) - Monte-Carlo voltage offset",
+    "fig6e": "Fig. 6(e) - MAC error comparison",
+    "fig6f": "Fig. 6(f) - DNN inference accuracy",
+    "fig7": "Fig. 7 - IMA vs prior IMC circuits",
+    "fig8": "Fig. 8 - architecture comparison (10 models)",
+    "fig9": "Fig. 9 - DAC/ADC overhead comparison",
+    "fig10": "Fig. 10 - attention pipeline speedup",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the YOCO paper's tables and figures.",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=sorted(_COMMANDS) + ["all"],
+        help="which table/figure to regenerate ('all' runs everything)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced fidelity for the slow artifacts (fig6bc/fig6d/fig6f)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = sorted(_COMMANDS) if args.artifact == "all" else [args.artifact]
+    for name in names:
+        print(section(_TITLES[name]))
+        print(_COMMANDS[name](args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""Charge-sharing primitives.
+
+Everything the in-charge computing array does — DAC-less input conversion,
+parallel accumulation, weighted summation — reduces to one physical event:
+connecting a set of capacitors and letting charge redistribute until the
+node voltages equalize.  The shared voltage is the capacitance-weighted mean
+of the pre-share voltages (charge conservation):
+
+    V_shared = sum(C_i * V_i) / sum(C_i)
+
+These helpers implement that event in vectorized form, plus the group
+bookkeeping for the binary-ratioed eDAC rows.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def charge_share(
+    voltages: np.ndarray,
+    capacitances: np.ndarray,
+    axis: int = -1,
+) -> np.ndarray:
+    """Shared voltage after connecting capacitors along ``axis``.
+
+    Parameters
+    ----------
+    voltages:
+        Pre-share node voltages.
+    capacitances:
+        Capacitances, broadcast-compatible with ``voltages``; must be
+        strictly positive along the shared axis.
+    axis:
+        Axis along which the capacitors are connected.
+
+    Returns
+    -------
+    The capacitance-weighted mean voltage, with ``axis`` reduced.
+    """
+    volts = np.asarray(voltages, dtype=float)
+    caps = np.broadcast_to(np.asarray(capacitances, dtype=float), volts.shape)
+    if np.any(caps <= 0.0):
+        raise ValueError("all capacitances must be positive")
+    charge = np.sum(caps * volts, axis=axis)
+    total_cap = np.sum(caps, axis=axis)
+    return charge / total_cap
+
+
+def shared_charge(voltages: np.ndarray, capacitances: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Total charge on the shared node (for conservation checks in tests)."""
+    volts = np.asarray(voltages, dtype=float)
+    caps = np.broadcast_to(np.asarray(capacitances, dtype=float), volts.shape)
+    return np.sum(caps * volts, axis=axis)
+
+
+def group_index_map(group_sizes: Sequence[int]) -> np.ndarray:
+    """Map each capacitor position to its eDAC group.
+
+    For the paper's 8-bit row the group sizes are ``(1, 1, 2, ..., 128)``:
+    position 0 belongs to the VSS group 0, positions 1..255 to binary-ratioed
+    groups 1..8.  Returns an int array of length ``sum(group_sizes)``.
+    """
+    sizes = list(group_sizes)
+    if any(size <= 0 for size in sizes):
+        raise ValueError("group sizes must be positive")
+    return np.repeat(np.arange(len(sizes)), sizes)
+
+
+def binary_group_sizes(n_bits: int) -> "tuple[int, ...]":
+    """The eDAC grouping for an ``n_bits`` input: one VSS unit + 2^b per bit.
+
+    >>> binary_group_sizes(2)
+    (1, 1, 2)
+    """
+    if n_bits <= 0:
+        raise ValueError("n_bits must be positive")
+    return (1,) + tuple(1 << b for b in range(n_bits))
+
+
+def dac_voltage(code: int, n_bits: int, vdd: float) -> float:
+    """Ideal DAC-less conversion voltage for a digital input code.
+
+    With group sizes ``(1, 1, 2, ..., 2^(n-1))`` and the first group pinned
+    to VSS, the post-share row voltage is ``VDD * code / 2^n``.
+    """
+    if not 0 <= code < (1 << n_bits):
+        raise ValueError(f"code {code} out of range for {n_bits} bits")
+    return vdd * code / float(1 << n_bits)

@@ -1,0 +1,113 @@
+"""Memory-and-compute cell (MCC) — the unit element of YOCO's arrays.
+
+An MCC (Fig. 2(b)) bundles one 2 fF MOM unit capacitor, two routing switches
+(S0, S1), an analog 1-bit multiplier (transistors M0/M1) and a *memory
+cluster* — 8 SRAM bits in a dynamic IMA or 32 1T1R ReRAM bits in a static
+IMA — whose MUX-selected bit drives the multiplier gate.
+
+This class models one cell explicitly; :class:`repro.core.array.InChargeArray`
+applies the identical semantics in vectorized form for full 128x256 arrays.
+The cell-level model is the semantic reference the array tests check against.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro import constants
+from repro.memory.reram import ReramCluster
+from repro.memory.sram import SramCluster
+
+MemoryCluster = Union[SramCluster, ReramCluster]
+
+
+class MemoryComputeCell:
+    """One MCC: unit capacitor + 1-bit analog multiplier + memory cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The backing memory cluster.  Defaults to an 8-bit SRAM cluster
+        (a DIMA cell); pass a :class:`ReramCluster` for a SIMA cell.
+    capacitance_farad:
+        The unit MOM capacitance (possibly mismatched).
+    """
+
+    def __init__(
+        self,
+        cluster: "MemoryCluster | None" = None,
+        capacitance_farad: float = constants.CU_FARAD,
+    ) -> None:
+        if capacitance_farad <= 0.0:
+            raise ValueError("capacitance must be positive")
+        self._cluster = cluster if cluster is not None else SramCluster()
+        self._cap = capacitance_farad
+        self._voltage = 0.0
+        self._activations = 0
+
+    # -- structure -------------------------------------------------------------
+    @property
+    def cluster(self) -> MemoryCluster:
+        return self._cluster
+
+    @property
+    def capacitance(self) -> float:
+        return self._cap
+
+    @property
+    def voltage(self) -> float:
+        """Present voltage across the unit capacitor."""
+        return self._voltage
+
+    @property
+    def charge(self) -> float:
+        """Present charge on the unit capacitor (coulombs)."""
+        return self._cap * self._voltage
+
+    @property
+    def activation_count(self) -> int:
+        """Charging events — the energy-billable activity of the cell."""
+        return self._activations
+
+    # -- weight storage ----------------------------------------------------------
+    def store_weight_bit(self, value: int, plane: int = 0) -> None:
+        """Write one weight bit into the cluster and select it."""
+        self._cluster.write_bit(plane, value)
+        self._cluster.select(plane)
+
+    def weight_bit(self) -> int:
+        """The bit the cluster MUX currently presents to the multiplier."""
+        return self._cluster.active_bit()
+
+    # -- the four in-charge phases (cell view) -----------------------------------
+    def precharge(self, voltage: float) -> None:
+        """Phase 1 (cell view): tri-state gate drives the input-bit voltage."""
+        if not constants.VSS_VOLT <= voltage <= constants.VDD_VOLT:
+            raise ValueError(
+                f"precharge voltage {voltage} outside [VSS, VDD]"
+            )
+        if voltage > self._voltage:
+            self._activations += 1
+        self._voltage = voltage
+
+    def set_shared_voltage(self, voltage: float) -> None:
+        """A charge-share event this cell participated in settled at
+        ``voltage`` (computed externally over all participants)."""
+        self._voltage = voltage
+
+    def multiply(self) -> float:
+        """Phase 2: RWL pulses; a stored 0 discharges the capacitor, a
+        stored 1 keeps its charge.  Returns the post-multiply voltage."""
+        if self.weight_bit() == 0:
+            self._voltage = constants.VSS_VOLT
+        return self._voltage
+
+    def energy_pj(self) -> float:
+        """Lifetime charging energy (Table II: 1.62 fJ per activation)."""
+        return self._activations * constants.MCC_ENERGY_PER_ACT_J * 1e12
+
+    @property
+    def area_um2(self) -> float:
+        """Cell footprint: the MOM capacitor stacks over the cluster, so the
+        area is max(capacitor, cluster) = the Table II 0.8 um2 figure."""
+        return constants.MCC_AREA_UM2

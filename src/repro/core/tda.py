@@ -1,0 +1,150 @@
+"""Time-domain accumulation: chained voltage-to-time converters.
+
+Each compute bar produces an analog MAC voltage — a partial sum.  YOCO
+stacks 8 arrays vertically inside an IMA and accumulates their partial sums
+*in the time domain* (Section III-B): serial head-to-tail VTCs convert each
+CB voltage into a pulse delay, delays add along the chain, and a single
+8-bit TDC digitizes the start/stop difference.  A redundant reference column
+of CBs, shared across the macro, supplies the start signal so that the fixed
+per-stage delay T0 cancels.
+
+The model: stage ``i`` of a chain contributes
+
+    T_i = T0 + g_i * (V_i + offset_i) + jitter
+
+with static per-VTC gain/offset mismatch and per-conversion jitter drawn
+from the :class:`~repro.analog.variation.VariationModel`.  Table II gives a
+113 ps full-scale stage delay and 58.5 fJ per conversion; with the default
+0.35 ps jitter the 8-stage chain error lands at the paper's 0.11 % figure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import constants
+from repro.analog.variation import VariationModel, make_rng
+
+
+class TimeDomainAccumulator:
+    """A bank of VTC chains plus the shared reference chain.
+
+    Parameters
+    ----------
+    n_chains:
+        Number of parallel chains (one per IMA output column; 256 for the
+        paper's 32 CBs x 8 grid columns).
+    n_stages:
+        VTCs per chain (one per vertically stacked array; 8).
+    full_scale_delay_s:
+        Stage delay at V = VDD (Table II: 113 ps).
+    base_delay_s:
+        Fixed per-stage propagation delay T0, cancelled by the reference.
+    """
+
+    def __init__(
+        self,
+        n_chains: int,
+        n_stages: int,
+        variation: Optional[VariationModel] = None,
+        seed: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+        full_scale_delay_s: float = 113e-12,
+        base_delay_s: float = 50e-12,
+    ) -> None:
+        if n_chains <= 0 or n_stages <= 0:
+            raise ValueError("n_chains and n_stages must be positive")
+        if full_scale_delay_s <= 0.0:
+            raise ValueError("full_scale_delay_s must be positive")
+        self._n_chains = n_chains
+        self._n_stages = n_stages
+        self._variation = variation if variation is not None else VariationModel.typical()
+        self._rng = rng if rng is not None else make_rng(seed)
+        self._base_delay_s = base_delay_s
+        self._nominal_gain = full_scale_delay_s / constants.VDD_VOLT
+
+        total = n_chains * n_stages
+        self._gains = self._variation.sample_vtc_gains(
+            total, self._nominal_gain, self._rng
+        ).reshape(n_chains, n_stages)
+        self._offsets = self._variation.sample_vtc_offsets(total, self._rng).reshape(
+            n_chains, n_stages
+        )
+        # The shared reference chain (inputs held at VSS).
+        self._ref_gains = self._variation.sample_vtc_gains(
+            n_stages, self._nominal_gain, self._rng
+        )
+        self._ref_offsets = self._variation.sample_vtc_offsets(n_stages, self._rng)
+        self._conversion_count = 0
+
+    # -- accessors -----------------------------------------------------------------
+    @property
+    def n_chains(self) -> int:
+        return self._n_chains
+
+    @property
+    def n_stages(self) -> int:
+        return self._n_stages
+
+    @property
+    def nominal_gain_s_per_volt(self) -> float:
+        return self._nominal_gain
+
+    @property
+    def conversion_count(self) -> int:
+        """Lifetime VTC conversions (58.5 fJ each, Table II)."""
+        return self._conversion_count
+
+    @property
+    def full_scale_delta_s(self) -> float:
+        """Largest possible start/stop difference: all stages at VDD."""
+        return self._n_stages * self._nominal_gain * constants.VDD_VOLT
+
+    # -- behaviour ------------------------------------------------------------------
+    def accumulate(self, voltages: np.ndarray) -> np.ndarray:
+        """Convert per-stage voltages to accumulated delays.
+
+        Parameters
+        ----------
+        voltages:
+            Stage input voltages, shape (n_chains, n_stages).
+
+        Returns
+        -------
+        Start/stop time differences per chain (seconds), shape (n_chains,),
+        i.e. the signal chains' total delay minus the reference chain's.
+        """
+        v = np.asarray(voltages, dtype=float)
+        if v.shape != (self._n_chains, self._n_stages):
+            raise ValueError(
+                f"expected voltages of shape {(self._n_chains, self._n_stages)}, "
+                f"got {v.shape}"
+            )
+        if np.any(v < constants.VSS_VOLT - 1e-9) or np.any(v > constants.VDD_VOLT + 1e-9):
+            raise ValueError("stage voltages must be within [VSS, VDD]")
+        jitter = self._variation.vtc_jitter(v.shape, self._rng)
+        stage_delays = (
+            self._base_delay_s + self._gains * (v + self._offsets) + jitter
+        )
+        stop_times = stage_delays.sum(axis=1)
+
+        ref_jitter = self._variation.vtc_jitter((self._n_stages,), self._rng)
+        ref_delays = (
+            self._base_delay_s + self._ref_gains * self._ref_offsets + ref_jitter
+        )
+        start_time = ref_delays.sum()
+        self._conversion_count += v.size + self._n_stages
+        return np.maximum(stop_times - start_time, 0.0)
+
+    def ideal_delta_s(self, voltages: np.ndarray) -> np.ndarray:
+        """Noiseless accumulated delays: nominal_gain * sum(V) per chain."""
+        v = np.asarray(voltages, dtype=float)
+        return self._nominal_gain * v.sum(axis=-1)
+
+    def relative_error(self, voltages: np.ndarray) -> np.ndarray:
+        """Per-chain accumulation error as a fraction of full scale."""
+        actual = self.accumulate(voltages)
+        ideal = self.ideal_delta_s(voltages)
+        return (actual - ideal) / self.full_scale_delta_s

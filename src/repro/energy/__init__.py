@@ -1,0 +1,48 @@
+"""Energy / area / latency modeling framework.
+
+A small accelergy-style accounting stack: components declare named actions
+with per-action energies, an :class:`~repro.energy.ledger.EnergyLedger`
+accumulates action counts during simulation, and :mod:`repro.energy.cacti`
+provides CACTI-lite analytic models for SRAM/eDRAM macros (the paper used
+CACTI 6.0 for buffers, eDRAM and interconnect).
+"""
+
+from repro.energy.action import Action
+from repro.energy.cacti import CactiLite, MemoryMacroSpec, MemoryTechnology
+from repro.energy.component import Component, ComponentLibrary
+from repro.energy.ledger import EnergyLedger, LedgerEntry
+from repro.energy.units import (
+    GIGA,
+    MEGA,
+    MM2_PER_UM2,
+    fj_to_pj,
+    j_to_pj,
+    ns_to_s,
+    pj_to_j,
+    s_to_ns,
+    tops,
+    tops_per_watt,
+    um2_to_mm2,
+)
+
+__all__ = [
+    "Action",
+    "CactiLite",
+    "Component",
+    "ComponentLibrary",
+    "EnergyLedger",
+    "GIGA",
+    "LedgerEntry",
+    "MEGA",
+    "MM2_PER_UM2",
+    "MemoryMacroSpec",
+    "MemoryTechnology",
+    "fj_to_pj",
+    "j_to_pj",
+    "ns_to_s",
+    "pj_to_j",
+    "s_to_ns",
+    "tops",
+    "tops_per_watt",
+    "um2_to_mm2",
+]

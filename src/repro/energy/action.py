@@ -1,0 +1,46 @@
+"""Action primitives of the accounting framework.
+
+An :class:`Action` is a named unit of work a hardware component can perform
+(e.g. ``"vmm"``, ``"read_256b"``) with a fixed energy and latency cost —
+the same modelling grain accelergy uses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Action:
+    """One billable operation of a component.
+
+    Attributes
+    ----------
+    name:
+        Action identifier, unique within its component.
+    energy_pj:
+        Dynamic energy per invocation, picojoules.
+    latency_ns:
+        Latency per invocation, nanoseconds (0 for fully pipelined /
+        amortised actions).
+    """
+
+    name: str
+    energy_pj: float
+    latency_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("action name must be non-empty")
+        if self.energy_pj < 0.0:
+            raise ValueError(f"action {self.name!r}: energy must be >= 0")
+        if self.latency_ns < 0.0:
+            raise ValueError(f"action {self.name!r}: latency must be >= 0")
+
+    def scaled(self, energy_factor: float = 1.0, latency_factor: float = 1.0) -> "Action":
+        """A copy with energy/latency scaled (used for corner studies)."""
+        return Action(
+            name=self.name,
+            energy_pj=self.energy_pj * energy_factor,
+            latency_ns=self.latency_ns * latency_factor,
+        )

@@ -1,0 +1,109 @@
+"""Hardware components and component libraries.
+
+A :class:`Component` bundles an area with a set of named
+:class:`~repro.energy.action.Action` costs; a :class:`ComponentLibrary` is a
+name-indexed collection, mirroring an accelergy component table such as the
+paper's Table II.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, Iterator, Optional
+
+from repro.energy.action import Action
+
+
+@dataclasses.dataclass
+class Component:
+    """A named hardware block with an area and a table of actions.
+
+    Attributes
+    ----------
+    name:
+        Component identifier, unique within a library.
+    area_um2:
+        Layout area of one instance, square micrometres.
+    actions:
+        Mapping of action name to :class:`Action`.
+    count:
+        Number of identical instances (Table II's "Num." column).
+    """
+
+    name: str
+    area_um2: float = 0.0
+    actions: Dict[str, Action] = dataclasses.field(default_factory=dict)
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("component name must be non-empty")
+        if self.area_um2 < 0.0:
+            raise ValueError(f"component {self.name!r}: area must be >= 0")
+        if self.count < 1:
+            raise ValueError(f"component {self.name!r}: count must be >= 1")
+
+    def add_action(self, action: Action) -> "Component":
+        """Register an action; returns self for chaining."""
+        if action.name in self.actions:
+            raise ValueError(
+                f"component {self.name!r} already has action {action.name!r}"
+            )
+        self.actions[action.name] = action
+        return self
+
+    def action(self, name: str) -> Action:
+        """Look up an action by name."""
+        try:
+            return self.actions[name]
+        except KeyError:
+            raise KeyError(
+                f"component {self.name!r} has no action {name!r}; "
+                f"known: {sorted(self.actions)}"
+            ) from None
+
+    def energy_pj(self, action_name: str, invocations: float = 1.0) -> float:
+        """Energy of ``invocations`` runs of an action, picojoules."""
+        return self.action(action_name).energy_pj * invocations
+
+    @property
+    def total_area_um2(self) -> float:
+        """Area of all instances combined."""
+        return self.area_um2 * self.count
+
+
+class ComponentLibrary:
+    """A name-indexed set of components (one accelergy-style table)."""
+
+    def __init__(self, components: Optional[Iterable[Component]] = None) -> None:
+        self._components: Dict[str, Component] = {}
+        for component in components or ():
+            self.add(component)
+
+    def add(self, component: Component) -> Component:
+        if component.name in self._components:
+            raise ValueError(f"duplicate component {component.name!r}")
+        self._components[component.name] = component
+        return component
+
+    def get(self, name: str) -> Component:
+        try:
+            return self._components[name]
+        except KeyError:
+            raise KeyError(
+                f"no component {name!r}; known: {sorted(self._components)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._components
+
+    def __iter__(self) -> Iterator[Component]:
+        return iter(self._components.values())
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    @property
+    def total_area_um2(self) -> float:
+        """Combined area of all instances of all components."""
+        return sum(component.total_area_um2 for component in self)

@@ -1,0 +1,115 @@
+"""Energy ledger: action-count accounting during simulation.
+
+Simulators record ``(component, action, count)`` triples; the ledger resolves
+them against a :class:`~repro.energy.component.ComponentLibrary` and provides
+totals and per-component breakdowns — the same roll-up accelergy performs
+from timeloop action counts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.energy.component import ComponentLibrary
+
+
+@dataclasses.dataclass(frozen=True)
+class LedgerEntry:
+    """One resolved accounting line."""
+
+    component: str
+    action: str
+    count: float
+    energy_pj: float
+    latency_ns: float
+
+
+class EnergyLedger:
+    """Accumulates action counts and resolves them to energy.
+
+    Parameters
+    ----------
+    library:
+        Component library providing per-action energies.  Entries recorded
+        against unknown components/actions raise immediately, so accounting
+        bugs surface at the recording site.
+    """
+
+    def __init__(self, library: ComponentLibrary) -> None:
+        self._library = library
+        self._counts: Dict[Tuple[str, str], float] = defaultdict(float)
+
+    @property
+    def library(self) -> ComponentLibrary:
+        return self._library
+
+    def record(self, component: str, action: str, count: float = 1.0) -> None:
+        """Add ``count`` invocations of ``component.action``."""
+        if count < 0.0:
+            raise ValueError("count must be non-negative")
+        # Validate eagerly: a typo'd action should fail where it happens.
+        self._library.get(component).action(action)
+        self._counts[(component, action)] += count
+
+    def merge(self, other: "EnergyLedger") -> None:
+        """Fold another ledger's counts into this one."""
+        for key, count in other._counts.items():
+            self._library.get(key[0]).action(key[1])
+            self._counts[key] += count
+
+    def count(self, component: str, action: str) -> float:
+        """Recorded invocation count for one (component, action) pair."""
+        return self._counts.get((component, action), 0.0)
+
+    def entries(self) -> List[LedgerEntry]:
+        """All accounting lines, resolved to energy, sorted by energy."""
+        rows = []
+        for (component, action), count in self._counts.items():
+            act = self._library.get(component).action(action)
+            rows.append(
+                LedgerEntry(
+                    component=component,
+                    action=action,
+                    count=count,
+                    energy_pj=act.energy_pj * count,
+                    latency_ns=act.latency_ns * count,
+                )
+            )
+        rows.sort(key=lambda entry: -entry.energy_pj)
+        return rows
+
+    def __iter__(self) -> Iterator[LedgerEntry]:
+        return iter(self.entries())
+
+    @property
+    def total_energy_pj(self) -> float:
+        """Total dynamic energy across all recorded actions."""
+        return sum(entry.energy_pj for entry in self.entries())
+
+    def energy_by_component_pj(self) -> Dict[str, float]:
+        """Energy grouped by component, picojoules."""
+        grouped: Dict[str, float] = defaultdict(float)
+        for entry in self.entries():
+            grouped[entry.component] += entry.energy_pj
+        return dict(grouped)
+
+    def breakdown(self, top: Optional[int] = None) -> str:
+        """Human-readable energy breakdown table."""
+        rows = self.entries()[: top if top is not None else None]
+        if not rows:
+            return "(empty ledger)"
+        width = max(len(f"{r.component}.{r.action}") for r in rows)
+        lines = [f"{'where':<{width}}  {'count':>12}  {'energy [pJ]':>14}"]
+        for entry in rows:
+            where = f"{entry.component}.{entry.action}"
+            lines.append(
+                f"{where:<{width}}  {entry.count:>12.0f}  {entry.energy_pj:>14.2f}"
+            )
+        lines.append(f"{'TOTAL':<{width}}  {'':>12}  {self.total_energy_pj:>14.2f}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Clear all recorded counts."""
+        self._counts.clear()

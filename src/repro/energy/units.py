@@ -1,0 +1,59 @@
+"""Unit helpers used across the energy/performance models.
+
+Internal conventions: energies in picojoules (``pj``), latencies in
+nanoseconds (``ns``), areas in square micrometres (``um2``), throughput in
+operations per second.  These helpers keep conversions explicit and typo-free.
+"""
+
+from __future__ import annotations
+
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+
+#: Square millimetres per square micrometre.
+MM2_PER_UM2 = 1e-6
+
+
+def fj_to_pj(femtojoules: float) -> float:
+    """Femtojoules -> picojoules."""
+    return femtojoules * 1e-3
+
+
+def pj_to_j(picojoules: float) -> float:
+    """Picojoules -> joules."""
+    return picojoules * 1e-12
+
+
+def j_to_pj(joules: float) -> float:
+    """Joules -> picojoules."""
+    return joules * 1e12
+
+
+def ns_to_s(nanoseconds: float) -> float:
+    """Nanoseconds -> seconds."""
+    return nanoseconds * 1e-9
+
+
+def s_to_ns(seconds: float) -> float:
+    """Seconds -> nanoseconds."""
+    return seconds * 1e9
+
+
+def um2_to_mm2(um2: float) -> float:
+    """Square micrometres -> square millimetres."""
+    return um2 * MM2_PER_UM2
+
+
+def tops(ops: float, seconds: float) -> float:
+    """Tera-operations per second for ``ops`` executed in ``seconds``."""
+    if seconds <= 0.0:
+        raise ValueError("seconds must be positive")
+    return ops / seconds / TERA
+
+
+def tops_per_watt(ops: float, joules: float) -> float:
+    """Energy efficiency in TOPS/W (equivalently tera-ops per joule)."""
+    if joules <= 0.0:
+        raise ValueError("joules must be positive")
+    return ops / joules / TERA

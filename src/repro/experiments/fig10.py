@@ -1,0 +1,64 @@
+"""Fig. 10: attention-pipeline speedup on five transformer models.
+
+Token-level pipelining (Fig. 5(c)) versus layer-wise execution on one tile,
+per benchmark geometry.  Paper: speedups 1.8x (gpt_large) to 3.7x
+(mobilebert), geometric mean 2.3x.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.arch.pipeline import (
+    FIG10_GEOMETRIES,
+    AttentionPipelineModel,
+    PipelineResult,
+)
+from repro.arch.result import geometric_mean
+from repro.core.config import TileConfig
+from repro.experiments.data import FIG10_PAPER_GEOMEAN, FIG10_PAPER_SPEEDUPS
+from repro.experiments.report import format_table
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig10Result:
+    results: Dict[str, PipelineResult]
+
+    @property
+    def geomean_speedup(self) -> float:
+        return geometric_mean([r.speedup for r in self.results.values()])
+
+    @property
+    def min_speedup(self) -> float:
+        return min(r.speedup for r in self.results.values())
+
+    @property
+    def max_speedup(self) -> float:
+        return max(r.speedup for r in self.results.values())
+
+
+def run_fig10(tile: Optional[TileConfig] = None) -> Fig10Result:
+    model = AttentionPipelineModel(tile=tile)
+    return Fig10Result(
+        results={name: model.evaluate(geom) for name, geom in FIG10_GEOMETRIES.items()}
+    )
+
+
+def format_fig10(result: Optional[Fig10Result] = None) -> str:
+    res = result if result is not None else run_fig10()
+    rows = []
+    for name, r in res.results.items():
+        rows.append(
+            (
+                name,
+                f"{r.sequential_ns / 1e3:.1f}",
+                f"{r.pipelined_ns / 1e3:.1f}",
+                f"{r.speedup:.2f}",
+                f"{FIG10_PAPER_SPEEDUPS.get(name, float('nan')):.2f}",
+            )
+        )
+    rows.append(("geomean", "", "", f"{res.geomean_speedup:.2f}", f"{FIG10_PAPER_GEOMEAN:.2f}"))
+    return format_table(
+        ("model", "layer-wise us", "pipelined us", "speedup", "paper"), rows
+    )

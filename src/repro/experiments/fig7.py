@@ -1,0 +1,103 @@
+"""Fig. 7: YOCO's IMA vs eight prior IMC circuits.
+
+Measured side: the IMA's energy efficiency and throughput derived from the
+Table II roll-up.  Reference side: the published figures of [9], [14]-[20]
+from :mod:`repro.experiments.data`.  The paper normalizes everything to
+YOCO and reports improvement ranges of 1.5-40x (EE), 12-1164x (throughput)
+and 36-14000x (FoM = EE x tput x IN x W x OUT bits).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.core.config import IMAConfig
+from repro.experiments.data import FIG7_PRIOR_CIRCUITS, PriorCircuit
+from repro.experiments.report import format_ratio, format_table
+
+
+@dataclasses.dataclass(frozen=True)
+class CircuitComparison:
+    circuit: PriorCircuit
+    ee_ratio: float
+    throughput_ratio: float
+    fom_ratio: float
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig7Result:
+    yoco_ee_tops_per_watt: float
+    yoco_throughput_tops: float
+    yoco_fom: float
+    comparisons: "tuple[CircuitComparison, ...]"
+
+    @property
+    def ee_range(self) -> "tuple[float, float]":
+        ratios = [c.ee_ratio for c in self.comparisons]
+        return min(ratios), max(ratios)
+
+    @property
+    def throughput_range(self) -> "tuple[float, float]":
+        ratios = [c.throughput_ratio for c in self.comparisons]
+        return min(ratios), max(ratios)
+
+    @property
+    def fom_range(self) -> "tuple[float, float]":
+        ratios = [c.fom_ratio for c in self.comparisons]
+        return min(ratios), max(ratios)
+
+
+def run_fig7(config: Optional[IMAConfig] = None) -> Fig7Result:
+    cfg = config if config is not None else IMAConfig()
+    ee = cfg.energy_efficiency_tops_per_watt
+    tput = cfg.throughput_tops
+    bits = cfg.array.input_bits * cfg.array.weight_bits * cfg.tdc_bits
+    fom = ee * tput * bits
+    comparisons: List[CircuitComparison] = []
+    for circuit in FIG7_PRIOR_CIRCUITS:
+        comparisons.append(
+            CircuitComparison(
+                circuit=circuit,
+                ee_ratio=ee / circuit.ee_tops_per_watt,
+                throughput_ratio=tput / circuit.throughput_tops,
+                fom_ratio=fom / circuit.fom,
+            )
+        )
+    return Fig7Result(
+        yoco_ee_tops_per_watt=ee,
+        yoco_throughput_tops=tput,
+        yoco_fom=fom,
+        comparisons=tuple(comparisons),
+    )
+
+
+def format_fig7(result: Optional[Fig7Result] = None) -> str:
+    res = result if result is not None else run_fig7()
+    header = (
+        f"YOCO IMA: {res.yoco_ee_tops_per_watt:.1f} TOPS/W, "
+        f"{res.yoco_throughput_tops:.1f} TOPS "
+        f"(paper: 123.8 TOPS/W, 34.9 TOPS)\n"
+    )
+    table = format_table(
+        ("ref", "description", "EE x", "tput x", "FoM x"),
+        [
+            (
+                c.circuit.ref,
+                c.circuit.description,
+                format_ratio(c.ee_ratio),
+                format_ratio(c.throughput_ratio),
+                format_ratio(c.fom_ratio),
+            )
+            for c in res.comparisons
+        ],
+    )
+    lo_e, hi_e = res.ee_range
+    lo_t, hi_t = res.throughput_range
+    lo_f, hi_f = res.fom_range
+    footer = (
+        f"\nranges: EE {lo_e:.1f}-{hi_e:.1f}x (paper 1.5-40x), "
+        f"tput {lo_t:.0f}-{hi_t:.0f}x (paper 12-1164x), "
+        f"FoM {lo_f:.0f}-{hi_f:.0f}x (paper 36-14000x)"
+    )
+    return header + table + footer

@@ -1,0 +1,109 @@
+"""Fig. 8: whole-architecture comparison over the 10 DNN benchmarks.
+
+All four accelerators (YOCO + ISAAC/RAELLA/TIMELY) run every zoo workload
+through the same mapper and cost model; results are normalized to each
+baseline, per model plus the geometric mean — exactly the bars of Fig. 8.
+Paper geomeans: EE 19.9x / 4.7x / 3.9x and throughput 33.6x / 20.4x / 6.8x
+over ISAAC / RAELLA / TIMELY respectively.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.arch.accelerator import AcceleratorSpec, yoco_spec
+from repro.arch.result import RunResult, geometric_mean
+from repro.arch.simulator import ArchitectureSimulator
+from repro.baselines import isaac_spec, raella_spec, timely_spec
+from repro.experiments.data import FIG8_PAPER_GEOMEANS
+from repro.experiments.report import format_table
+from repro.models import all_workloads
+from repro.models.workload import WorkloadSpec
+
+BASELINE_NAMES = ("isaac", "raella", "timely")
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelRatios:
+    model: str
+    yoco_ee: float
+    yoco_tput: float
+    ee_ratio: Dict[str, float]
+    tput_ratio: Dict[str, float]
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig8Result:
+    per_model: "tuple[ModelRatios, ...]"
+    runs: Dict[str, Dict[str, RunResult]]
+
+    def geomean_ee(self, baseline: str) -> float:
+        return geometric_mean([m.ee_ratio[baseline] for m in self.per_model])
+
+    def geomean_tput(self, baseline: str) -> float:
+        return geometric_mean([m.tput_ratio[baseline] for m in self.per_model])
+
+
+def run_fig8(
+    workloads: Optional[List[WorkloadSpec]] = None,
+    specs: Optional[Dict[str, AcceleratorSpec]] = None,
+) -> Fig8Result:
+    """Run the full four-accelerator, ten-model sweep."""
+    work = workloads if workloads is not None else all_workloads()
+    accel = specs if specs is not None else {
+        "yoco": yoco_spec(),
+        "isaac": isaac_spec(),
+        "raella": raella_spec(),
+        "timely": timely_spec(),
+    }
+    if "yoco" not in accel:
+        raise ValueError("the spec dict must include 'yoco'")
+    sims = {name: ArchitectureSimulator(spec) for name, spec in accel.items()}
+    runs: Dict[str, Dict[str, RunResult]] = {
+        name: {w.name: sim.run(w) for w in work} for name, sim in sims.items()
+    }
+    per_model: List[ModelRatios] = []
+    baselines = [name for name in accel if name != "yoco"]
+    for w in work:
+        y = runs["yoco"][w.name]
+        per_model.append(
+            ModelRatios(
+                model=w.name,
+                yoco_ee=y.efficiency_tops_per_watt,
+                yoco_tput=y.throughput_tops,
+                ee_ratio={
+                    b: y.efficiency_tops_per_watt / runs[b][w.name].efficiency_tops_per_watt
+                    for b in baselines
+                },
+                tput_ratio={
+                    b: y.throughput_tops / runs[b][w.name].throughput_tops
+                    for b in baselines
+                },
+            )
+        )
+    return Fig8Result(per_model=tuple(per_model), runs=runs)
+
+
+def format_fig8(result: Optional[Fig8Result] = None) -> str:
+    res = result if result is not None else run_fig8()
+    baselines = list(res.per_model[0].ee_ratio)
+    headers = ["model", "YOCO TOPS/W", "YOCO TOPS"]
+    headers += [f"EEx {b}" for b in baselines] + [f"TPx {b}" for b in baselines]
+    rows = []
+    for m in res.per_model:
+        row = [m.model, f"{m.yoco_ee:.1f}", f"{m.yoco_tput:.2f}"]
+        row += [f"{m.ee_ratio[b]:.1f}" for b in baselines]
+        row += [f"{m.tput_ratio[b]:.1f}" for b in baselines]
+        rows.append(row)
+    geo_row = ["geomean", "", ""]
+    geo_row += [f"{res.geomean_ee(b):.1f}" for b in baselines]
+    geo_row += [f"{res.geomean_tput(b):.1f}" for b in baselines]
+    rows.append(geo_row)
+    table = format_table(headers, rows)
+    paper = ", ".join(
+        f"{b}: EE {FIG8_PAPER_GEOMEANS[b]['ee']}x / tput {FIG8_PAPER_GEOMEANS[b]['throughput']}x"
+        for b in BASELINE_NAMES
+        if b in FIG8_PAPER_GEOMEANS
+    )
+    return table + f"\npaper geomeans -> {paper}"

@@ -1,0 +1,65 @@
+"""Plain-text report formatting for the experiment drivers.
+
+Every benchmark prints the same rows/series the paper's tables and figures
+show; these helpers keep the formatting consistent and test-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str, xs: Sequence[object], ys: Sequence[float], y_format: str = "{:.4f}"
+) -> str:
+    """Render an (x, y) series as the paper's figure data."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    lines = [title]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {x}: " + y_format.format(y))
+    return "\n".join(lines)
+
+
+def format_ratio(value: float) -> str:
+    """Format a comparison ratio the way the paper annotates bars."""
+    if value >= 100:
+        return f"{value:.0f}x"
+    if value >= 10:
+        return f"{value:.1f}x"
+    return f"{value:.2f}x"
+
+
+def section(title: str) -> str:
+    bar = "=" * len(title)
+    return f"{title}\n{bar}"
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "Yes" if value else "No"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def bullet_list(items: List[str]) -> str:
+    return "\n".join(f"  - {item}" for item in items)

@@ -1,0 +1,38 @@
+"""Table I: ADC/DAC cost comparison across the IMC design space."""
+
+from __future__ import annotations
+
+from repro.experiments.data import TABLE1_ROWS, DesignSpaceRow
+from repro.experiments.report import format_table
+
+
+def run_table1() -> "tuple[DesignSpaceRow, ...]":
+    """The design-space rows, YOCO last (as in the paper)."""
+    return TABLE1_ROWS
+
+
+def format_table1() -> str:
+    headers = (
+        "Architecture",
+        "Slice Weight",
+        "Slice Input",
+        "Block Size",
+        "ADC Cost",
+        "DAC Cost",
+        "Memory Type",
+        "Accuracy Loss",
+    )
+    rows = [
+        (
+            row.architecture,
+            row.slice_weight,
+            row.slice_input,
+            row.block_size,
+            row.adc_cost,
+            row.dac_cost,
+            row.memory_type,
+            row.accuracy_loss,
+        )
+        for row in run_table1()
+    ]
+    return format_table(headers, rows)

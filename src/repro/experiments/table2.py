@@ -1,0 +1,125 @@
+"""Table II: the YOCO parameter summary, regenerated from the config.
+
+Every aggregate row is *derived* by :mod:`repro.core.config`, so this
+experiment doubles as the consistency check of the paper's arithmetic
+(array 26.5 pJ, per-array 29.6 pJ, IMA ~4 235 pJ / <15 ns / 3.45 mm2, tile
+~27.8 mm2, chip 111.2 mm2) and of the headline circuit metrics
+(123.8 TOPS/W, 34.9 TOPS).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.core.config import ChipConfig, paper_config
+from repro.experiments.report import format_table
+
+
+@dataclasses.dataclass(frozen=True)
+class Table2Row:
+    level: str
+    component: str
+    count: str
+    energy: str
+    latency: str
+    area: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Table2Result:
+    rows: "tuple[Table2Row, ...]"
+    ima_vmm_energy_pj: float
+    ima_vmm_latency_ns: float
+    ima_area_mm2: float
+    tile_area_mm2: float
+    chip_area_mm2: float
+    throughput_tops: float
+    efficiency_tops_per_watt: float
+
+
+def run_table2(config: Optional[ChipConfig] = None) -> Table2Result:
+    cfg = config if config is not None else paper_config()
+    tile = cfg.tile
+    ima = tile.ima
+    arr = ima.array
+    rows: List[Table2Row] = [
+        Table2Row("MCC", "Capacitor", "2 fF", f"{arr.mcc_energy_fj} fJ/act", "-", f"{arr.mcc_area_um2} um2"),
+        Table2Row("MCC", "SRAM/1T1R", f"{tile.dima_contexts}/{tile.sima_contexts}", "-", "-", "0.096 um2"),
+        Table2Row(
+            "Array", "MCC array", f"{arr.rows}x{arr.cols}",
+            f"{arr.mcc_array_energy_pj:.1f} pJ", f"{arr.compute_latency_ns} ns",
+            f"{arr.mcc_array_area_um2:.0f} um2",
+        ),
+        Table2Row(
+            "Array", "Row driver", str(arr.row_driver_count),
+            f"{arr.row_driver_energy_fj} fJ", f"<{arr.row_driver_latency_ps} ps",
+            f"{arr.row_driver_area_um2} um2",
+        ),
+        Table2Row(
+            "Array", "Time Acc.", str(arr.tda_count),
+            f"{arr.tda_energy_fj} fJ", f"{arr.tda_latency_ps} ps", f"{arr.tda_area_um2} um2",
+        ),
+        Table2Row(
+            "IMA", "Array", f"{ima.grid_rows}x{ima.grid_cols}",
+            f"{arr.energy_pj:.1f} pJ", f"<{ima.vmm_latency_ns:.1f} ns",
+            f"{arr.area_um2:.0f} um2",
+        ),
+        Table2Row(
+            "IMA", "TDC (8 bits)", f"{arr.n_cbs}x{ima.grid_cols}",
+            f"{ima.tdc_energy_pj} pJ", f"{ima.tdc_latency_ns} ns", f"{ima.tdc_area_um2} um2",
+        ),
+        Table2Row(
+            "IMA", "I/O Buffer", "4 KB",
+            f"{ima.buffer_energy_pj_per_256b}/256 b", f"{ima.buffer_latency_ns_per_256b}/256 b",
+            f"{ima.buffer_area_um2} um2",
+        ),
+        Table2Row(
+            "Tile", "IMA", str(tile.n_imas),
+            f"{ima.vmm_energy_pj:.0f} pJ", f"<{ima.vmm_period_ns:.0f} ns/VMM",
+            f"{ima.area_um2 / 1e6:.2f} mm2",
+        ),
+        Table2Row(
+            "Tile", "SFU", str(tile.sfu_count),
+            f"{tile.sfu_energy_pj} pJ", f"{tile.sfu_latency_ns} ns", f"{tile.sfu_area_um2} um2",
+        ),
+        Table2Row(
+            "Tile", "eDRAM", f"{tile.edram_bytes // 1024} KB",
+            f"{tile.edram_energy_pj_per_bit} pJ/bit", f"{tile.edram_bandwidth_gbps:.0f} GB/s",
+            f"{tile.edram_area_um2 / 1e6:.1f} mm2",
+        ),
+        Table2Row(
+            "Chip", "Tile", str(cfg.n_tiles), "-", "-", f"{tile.area_um2 / 1e6:.1f} mm2"
+        ),
+        Table2Row("Total", "-", "-", "-", "-", f"{cfg.area_um2 / 1e6:.1f} mm2"),
+        Table2Row(
+            "Hyper Link", "links/freq",
+            f"{cfg.hyperlink_count}/{cfg.hyperlink_freq_ghz} GHz",
+            f"{cfg.hyperlink_bandwidth_gbps} GB/s", "-",
+            f"{cfg.hyperlink_area_um2 / 1e6:.1f} mm2",
+        ),
+    ]
+    return Table2Result(
+        rows=tuple(rows),
+        ima_vmm_energy_pj=ima.vmm_energy_pj,
+        ima_vmm_latency_ns=ima.vmm_latency_ns,
+        ima_area_mm2=ima.area_um2 / 1e6,
+        tile_area_mm2=tile.area_um2 / 1e6,
+        chip_area_mm2=cfg.area_um2 / 1e6,
+        throughput_tops=ima.throughput_tops,
+        efficiency_tops_per_watt=ima.energy_efficiency_tops_per_watt,
+    )
+
+
+def format_table2(result: Optional[Table2Result] = None) -> str:
+    res = result if result is not None else run_table2()
+    table = format_table(
+        ("Level", "Compo.", "Num.&Size", "Energy", "Latency", "Area/comp."),
+        [(r.level, r.component, r.count, r.energy, r.latency, r.area) for r in res.rows],
+    )
+    footer = (
+        f"\nDerived headline: {res.efficiency_tops_per_watt:.1f} TOPS/W, "
+        f"{res.throughput_tops:.1f} TOPS per IMA "
+        f"(paper: 123.8 TOPS/W, 34.9 TOPS)"
+    )
+    return table + footer

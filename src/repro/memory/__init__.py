@@ -1,0 +1,23 @@
+"""Memory device models: the storage substrate of the hybrid architecture.
+
+YOCO mixes two memory families inside its memory-and-compute cells — SRAM
+clusters (8 x 1 b) in dynamic IMAs and 1T1R ReRAM clusters (32 x 1 b) in
+static IMAs — plus eDRAM caches and SRAM I/O buffers at the tile/IMA levels.
+Each model tracks state, access energy and (for ReRAM) write endurance.
+"""
+
+from repro.memory.buffer import IOBuffer
+from repro.memory.device import BitStore, MemoryDeviceError
+from repro.memory.edram import Edram
+from repro.memory.reram import EnduranceExceededError, ReramCluster
+from repro.memory.sram import SramCluster
+
+__all__ = [
+    "BitStore",
+    "Edram",
+    "EnduranceExceededError",
+    "IOBuffer",
+    "MemoryDeviceError",
+    "ReramCluster",
+    "SramCluster",
+]

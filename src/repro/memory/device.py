@@ -1,0 +1,74 @@
+"""Common base for bit-granular memory device models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MemoryDeviceError(RuntimeError):
+    """Raised on illegal device operations (capacity, endurance, ...)."""
+
+
+class BitStore:
+    """A fixed-capacity store of single-bit words with access counters.
+
+    This is the minimal common behaviour of every memory model in the
+    package: bounds-checked bit read/write plus lifetime access statistics
+    (used by the energy accounting and the endurance models).
+    """
+
+    def __init__(self, n_bits: int) -> None:
+        if n_bits <= 0:
+            raise MemoryDeviceError("a memory device needs at least one bit")
+        self._bits = np.zeros(n_bits, dtype=np.uint8)
+        self._reads = 0
+        self._writes = 0
+
+    @property
+    def n_bits(self) -> int:
+        return int(self._bits.size)
+
+    @property
+    def read_count(self) -> int:
+        """Total bits read over the device lifetime."""
+        return self._reads
+
+    @property
+    def write_count(self) -> int:
+        """Total bits written over the device lifetime."""
+        return self._writes
+
+    def read_bit(self, index: int) -> int:
+        self._check_index(index)
+        self._reads += 1
+        return int(self._bits[index])
+
+    def write_bit(self, index: int, value: int) -> None:
+        self._check_index(index)
+        if value not in (0, 1):
+            raise MemoryDeviceError(f"bit value must be 0 or 1, got {value!r}")
+        self._writes += 1
+        self._bits[index] = value
+
+    def read_all(self) -> np.ndarray:
+        """Read every bit (counts as ``n_bits`` reads)."""
+        self._reads += self.n_bits
+        return self._bits.copy()
+
+    def write_all(self, values: np.ndarray) -> None:
+        """Write every bit (counts as ``n_bits`` writes)."""
+        arr = np.asarray(values, dtype=np.uint8).ravel()
+        if arr.size != self.n_bits:
+            raise MemoryDeviceError(
+                f"expected {self.n_bits} bits, got {arr.size}"
+            )
+        if not np.isin(arr, (0, 1)).all():
+            raise MemoryDeviceError("bit values must be 0 or 1")
+        self._writes += self.n_bits
+        self._bits[:] = arr
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.n_bits:
+            raise MemoryDeviceError(
+                f"bit index {index} out of range [0, {self.n_bits})"
+            )

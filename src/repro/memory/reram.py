@@ -1,0 +1,107 @@
+"""1T1R ReRAM memory-cluster model (SIMA storage).
+
+Static IMAs back each MCC with a cluster of 32 one-transistor-one-resistor
+ReRAM cells (Table II).  Device parameters follow TIMELY: 1 kOhm on / 20 kOhm
+off resistance at 1-bit precision.  ReRAM brings 4x the density of the SRAM
+cluster but pays for it with energy-intensive SET/RESET writes and a finite
+write endurance — which is precisely why SIMAs only hold *static* weights in
+the hybrid architecture.
+"""
+
+from __future__ import annotations
+
+from repro import constants
+from repro.memory.device import BitStore, MemoryDeviceError
+
+
+class EnduranceExceededError(MemoryDeviceError):
+    """A ReRAM cell was written more times than its rated endurance."""
+
+
+class ReramCluster(BitStore):
+    """A 1T1R ReRAM cluster with per-cell endurance tracking.
+
+    Parameters
+    ----------
+    n_bits:
+        Cluster depth (Table II: 32 1T1R cells per cluster).
+    endurance:
+        Rated write cycles per cell; typical filamentary ReRAM sustains
+        1e6..1e8 cycles.  Exceeding it raises
+        :class:`EnduranceExceededError`, modelling a worn-out cell.
+    """
+
+    #: On/off resistances from TIMELY, ohms.
+    R_ON_OHM = 1e3
+    R_OFF_OHM = 20e3
+
+    #: Read energy per bit (current sensing), picojoules.
+    READ_ENERGY_PJ = 0.005
+    #: SET/RESET write energy per bit, picojoules.
+    WRITE_ENERGY_PJ = 2.0
+    #: Write pulse latency, nanoseconds.
+    WRITE_LATENCY_NS = 50.0
+
+    def __init__(
+        self,
+        n_bits: int = constants.RERAM_BITS_PER_CLUSTER,
+        endurance: int = 10**7,
+    ) -> None:
+        super().__init__(n_bits)
+        if endurance <= 0:
+            raise MemoryDeviceError("endurance must be positive")
+        self._endurance = endurance
+        self._cell_writes = [0] * n_bits
+        self._selected = 0
+
+    @property
+    def endurance(self) -> int:
+        return self._endurance
+
+    @property
+    def selected(self) -> int:
+        return self._selected
+
+    def select(self, index: int) -> None:
+        """Point the cluster MUX at a stored bit-plane."""
+        self._check_index(index)
+        self._selected = index
+
+    def active_bit(self) -> int:
+        """The weight bit currently presented to the analog multiplier."""
+        return self.read_bit(self._selected)
+
+    def write_bit(self, index: int, value: int) -> None:
+        self._check_index(index)
+        if self._cell_writes[index] >= self._endurance:
+            raise EnduranceExceededError(
+                f"ReRAM cell {index} exceeded endurance of {self._endurance} writes"
+            )
+        self._cell_writes[index] += 1
+        super().write_bit(index, value)
+
+    def cell_write_count(self, index: int) -> int:
+        """Lifetime writes of one cell."""
+        self._check_index(index)
+        return self._cell_writes[index]
+
+    def wear_fraction(self) -> float:
+        """Worst-case cell wear as a fraction of rated endurance."""
+        return max(self._cell_writes) / self._endurance
+
+    def conductance_siemens(self, index: int) -> float:
+        """Read a cell as a conductance (the analog quantity ReRAM offers)."""
+        bit = self.read_bit(index)
+        return 1.0 / (self.R_ON_OHM if bit else self.R_OFF_OHM)
+
+    @property
+    def area_um2(self) -> float:
+        """Cluster layout area; 1T1R cells are ~3x denser than SRAM."""
+        return self.n_bits * constants.RAM_CELL_AREA_UM2 / 3.0
+
+    def total_write_energy_pj(self) -> float:
+        """Lifetime write energy, picojoules — the hybrid design's motivator."""
+        return self.write_count * self.WRITE_ENERGY_PJ
+
+    def total_read_energy_pj(self) -> float:
+        return self.read_count * self.READ_ENERGY_PJ

@@ -1,0 +1,80 @@
+"""SRAM memory-cluster model (DIMA storage).
+
+Each MCC in a dynamic IMA carries a cluster of 8 SRAM bit-cells behind a MUX
+(Fig. 2(b)): the cluster stores up to 8 weight bit-planes and the MUX selects
+which plane drives the analog multiplier transistor M1.  SRAM gives unlimited
+endurance and fast writes — that is exactly why DIMAs handle the *dynamic*
+matrices (K/Q/V score computation) in the hybrid design.
+"""
+
+from __future__ import annotations
+
+from repro import constants
+from repro.memory.device import BitStore, MemoryDeviceError
+
+
+class SramCluster(BitStore):
+    """An ``n_bits``-entry SRAM cluster with a MUX-selected active bit.
+
+    Parameters
+    ----------
+    n_bits:
+        Cluster depth; Table II uses 8 SRAM cells per cluster so that the
+        cluster footprint matches the 2 fF MOM capacitor above it.
+    """
+
+    #: Energy to read the selected bit onto the multiplier gate, picojoules.
+    READ_ENERGY_PJ = 0.0008
+    #: Energy to write one bit, picojoules.
+    WRITE_ENERGY_PJ = 0.0012
+    #: Write latency, nanoseconds.
+    WRITE_LATENCY_NS = 0.5
+
+    def __init__(self, n_bits: int = constants.SRAM_BITS_PER_CLUSTER) -> None:
+        super().__init__(n_bits)
+        self._selected = 0
+
+    @property
+    def selected(self) -> int:
+        """Index of the bit the MUX currently drives to the multiplier."""
+        return self._selected
+
+    def select(self, index: int) -> None:
+        """Point the MUX at a stored bit-plane."""
+        self._check_index(index)
+        self._selected = index
+
+    def active_bit(self) -> int:
+        """The weight bit currently presented to the analog multiplier."""
+        return self.read_bit(self._selected)
+
+    @property
+    def area_um2(self) -> float:
+        """Cluster layout area (cells only; MUX folded into cell pitch)."""
+        return self.n_bits * constants.RAM_CELL_AREA_UM2
+
+    def total_write_energy_pj(self) -> float:
+        """Lifetime write energy, picojoules."""
+        return self.write_count * self.WRITE_ENERGY_PJ
+
+    def total_read_energy_pj(self) -> float:
+        """Lifetime read energy, picojoules."""
+        return self.read_count * self.READ_ENERGY_PJ
+
+
+def pack_weight_bits(cluster: SramCluster, weight: int, bits: int) -> None:
+    """Store an unsigned multi-bit weight as bit-planes into a cluster.
+
+    Bit ``b`` of ``weight`` lands in cluster entry ``b``; raises if the
+    weight needs more planes than the cluster holds.
+    """
+    if bits <= 0:
+        raise MemoryDeviceError("bits must be positive")
+    if bits > cluster.n_bits:
+        raise MemoryDeviceError(
+            f"cluster holds {cluster.n_bits} bits, cannot pack {bits}"
+        )
+    if not 0 <= weight < (1 << bits):
+        raise MemoryDeviceError(f"weight {weight} out of range for {bits} bits")
+    for b in range(bits):
+        cluster.write_bit(b, (weight >> b) & 1)

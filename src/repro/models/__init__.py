@@ -1,0 +1,36 @@
+"""Benchmark model zoo: the 10 DNNs of the paper's evaluation as
+layer-accurate workload specifications."""
+
+from repro.models.workload import (
+    GemmShape,
+    LayerKind,
+    LayerSpec,
+    ModelKind,
+    WorkloadSpec,
+    conv_layer,
+    fc_layer,
+    transformer_block_layers,
+)
+from repro.models.zoo import (
+    BENCHMARK_MODELS,
+    CNN_MODELS,
+    TRANSFORMER_MODELS,
+    all_workloads,
+    get_workload,
+)
+
+__all__ = [
+    "BENCHMARK_MODELS",
+    "CNN_MODELS",
+    "GemmShape",
+    "LayerKind",
+    "LayerSpec",
+    "ModelKind",
+    "TRANSFORMER_MODELS",
+    "WorkloadSpec",
+    "all_workloads",
+    "conv_layer",
+    "fc_layer",
+    "get_workload",
+    "transformer_block_layers",
+]

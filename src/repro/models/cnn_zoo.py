@@ -1,0 +1,175 @@
+"""The five CNN benchmarks as layer-accurate workload specs.
+
+Shapes follow the canonical ImageNet (224x224x3) variants of each
+architecture; every convolution appears in im2col-GEMM form with its true
+output resolution, so total MACs and weight bytes match the published
+models (to within batchnorm/bias rounding).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.workload import (
+    LayerSpec,
+    ModelKind,
+    WorkloadSpec,
+    conv_layer,
+    fc_layer,
+)
+
+
+def alexnet() -> WorkloadSpec:
+    """AlexNet (Krizhevsky et al.): 5 convs + 3 FCs, ~61 M parameters."""
+    layers = (
+        conv_layer("conv1", 3, 64, 11, 55),
+        conv_layer("conv2", 64, 192, 5, 27),
+        conv_layer("conv3", 192, 384, 3, 13),
+        conv_layer("conv4", 384, 256, 3, 13),
+        conv_layer("conv5", 256, 256, 3, 13),
+        fc_layer("fc6", 256 * 6 * 6, 4096),
+        fc_layer("fc7", 4096, 4096),
+        fc_layer("fc8", 4096, 1000),
+    )
+    return WorkloadSpec(
+        name="alexnet",
+        kind=ModelKind.CNN,
+        layers=layers,
+        description="AlexNet, ImageNet 224x224",
+    )
+
+
+def vgg16() -> WorkloadSpec:
+    """VGG-16: 13 3x3 convs + 3 FCs, ~138 M parameters, ~15.5 G MACs."""
+    cfg = [
+        # (name, in, out, spatial)
+        ("conv1_1", 3, 64, 224),
+        ("conv1_2", 64, 64, 224),
+        ("conv2_1", 64, 128, 112),
+        ("conv2_2", 128, 128, 112),
+        ("conv3_1", 128, 256, 56),
+        ("conv3_2", 256, 256, 56),
+        ("conv3_3", 256, 256, 56),
+        ("conv4_1", 256, 512, 28),
+        ("conv4_2", 512, 512, 28),
+        ("conv4_3", 512, 512, 28),
+        ("conv5_1", 512, 512, 14),
+        ("conv5_2", 512, 512, 14),
+        ("conv5_3", 512, 512, 14),
+    ]
+    layers = tuple(conv_layer(name, c_in, c_out, 3, hw) for name, c_in, c_out, hw in cfg) + (
+        fc_layer("fc6", 512 * 7 * 7, 4096),
+        fc_layer("fc7", 4096, 4096),
+        fc_layer("fc8", 4096, 1000),
+    )
+    return WorkloadSpec(
+        name="vgg16",
+        kind=ModelKind.CNN,
+        layers=layers,
+        description="VGG-16, ImageNet 224x224",
+    )
+
+
+def resnet18() -> WorkloadSpec:
+    """ResNet-18: stem + 8 basic blocks (+ 3 downsample 1x1s) + FC."""
+    layers: List[LayerSpec] = [conv_layer("conv1", 3, 64, 7, 112)]
+    stages = [
+        # (stage, channels, spatial, downsample_from)
+        (1, 64, 56, None),
+        (2, 128, 28, 64),
+        (3, 256, 14, 128),
+        (4, 512, 7, 256),
+    ]
+    for stage, ch, hw, down_from in stages:
+        for block in (1, 2):
+            in_ch = down_from if (block == 1 and down_from) else ch
+            layers.append(conv_layer(f"layer{stage}.{block}.conv1", in_ch, ch, 3, hw))
+            layers.append(conv_layer(f"layer{stage}.{block}.conv2", ch, ch, 3, hw))
+        if down_from:
+            layers.append(conv_layer(f"layer{stage}.downsample", down_from, ch, 1, hw))
+    layers.append(fc_layer("fc", 512, 1000))
+    return WorkloadSpec(
+        name="resnet18",
+        kind=ModelKind.CNN,
+        layers=tuple(layers),
+        description="ResNet-18, ImageNet 224x224",
+    )
+
+
+def mobilenet_v3() -> WorkloadSpec:
+    """MobileNetV3-Large: inverted-residual bottlenecks with depthwise convs.
+
+    Encoded from the published stage table (expansion 1x1, depthwise kxk,
+    projection 1x1 per bneck); squeeze-excite FCs folded into two small FC
+    layers per SE block.
+    """
+    layers: List[LayerSpec] = [conv_layer("stem", 3, 16, 3, 112)]
+    # (name, in, exp, out, kernel, out_hw, se)
+    bnecks = [
+        ("bneck1", 16, 16, 16, 3, 112, False),
+        ("bneck2", 16, 64, 24, 3, 56, False),
+        ("bneck3", 24, 72, 24, 3, 56, False),
+        ("bneck4", 24, 72, 40, 5, 28, True),
+        ("bneck5", 40, 120, 40, 5, 28, True),
+        ("bneck6", 40, 120, 40, 5, 28, True),
+        ("bneck7", 40, 240, 80, 3, 14, False),
+        ("bneck8", 80, 200, 80, 3, 14, False),
+        ("bneck9", 80, 184, 80, 3, 14, False),
+        ("bneck10", 80, 184, 80, 3, 14, False),
+        ("bneck11", 80, 480, 112, 3, 14, True),
+        ("bneck12", 112, 672, 112, 3, 14, True),
+        ("bneck13", 112, 672, 160, 5, 7, True),
+        ("bneck14", 160, 960, 160, 5, 7, True),
+        ("bneck15", 160, 960, 160, 5, 7, True),
+    ]
+    for name, c_in, c_exp, c_out, k, hw, se in bnecks:
+        if c_exp != c_in:
+            layers.append(conv_layer(f"{name}.expand", c_in, c_exp, 1, hw))
+        layers.append(conv_layer(f"{name}.dw", c_exp, c_exp, k, hw, depthwise=True))
+        if se:
+            layers.append(fc_layer(f"{name}.se_reduce", c_exp, c_exp // 4))
+            layers.append(fc_layer(f"{name}.se_expand", c_exp // 4, c_exp))
+        layers.append(conv_layer(f"{name}.project", c_exp, c_out, 1, hw))
+    layers.append(conv_layer("head_conv", 160, 960, 1, 7))
+    layers.append(fc_layer("head_fc1", 960, 1280))
+    layers.append(fc_layer("head_fc2", 1280, 1000))
+    return WorkloadSpec(
+        name="mobilenetv3",
+        kind=ModelKind.CNN,
+        layers=tuple(layers),
+        description="MobileNetV3-Large, ImageNet 224x224",
+    )
+
+
+def densenet201() -> WorkloadSpec:
+    """DenseNet-201: 4 dense blocks (6/12/48/32 layers, growth 32).
+
+    Each dense layer: 1x1 bottleneck to 128 channels then 3x3 conv to 32;
+    transitions halve channels and spatial resolution.
+    """
+    growth = 32
+    bottleneck = 4 * growth
+    layers: List[LayerSpec] = [conv_layer("stem", 3, 64, 7, 112)]
+    channels = 64
+    spatial = 56
+    block_sizes = (6, 12, 48, 32)
+    for b, size in enumerate(block_sizes, start=1):
+        for i in range(1, size + 1):
+            layers.append(
+                conv_layer(f"block{b}.layer{i}.bottleneck", channels, bottleneck, 1, spatial)
+            )
+            layers.append(
+                conv_layer(f"block{b}.layer{i}.conv", bottleneck, growth, 3, spatial)
+            )
+            channels += growth
+        if b < len(block_sizes):
+            channels //= 2
+            layers.append(conv_layer(f"transition{b}", channels * 2, channels, 1, spatial))
+            spatial //= 2
+    layers.append(fc_layer("fc", channels, 1000))
+    return WorkloadSpec(
+        name="densenet201",
+        kind=ModelKind.CNN,
+        layers=tuple(layers),
+        description="DenseNet-201, ImageNet 224x224",
+    )

@@ -1,0 +1,154 @@
+"""The five transformer benchmarks as layer-accurate workload specs.
+
+Configurations follow the published architectures; sequence lengths are the
+typical evaluation settings (BERT-family 128 tokens, ViT 197 patches, LLM
+decoders at longer contexts).  Every block contributes its seven GEMMs via
+:func:`repro.models.workload.transformer_block_layers`, so attention's
+dynamic (DIMA-bound) products are distinguishable from the static
+(SIMA-bound) projections — the distinction the hybrid memory design and the
+Fig. 10 pipeline live on.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.workload import (
+    LayerSpec,
+    LayerKind,
+    GemmShape,
+    ModelKind,
+    WorkloadSpec,
+    transformer_block_layers,
+)
+
+
+def _stacked(name: str, description: str, n_layers: int, seq_len: int, dim: int,
+             n_heads: int, ff_dim: int, kv_dim: "int | None" = None,
+             extra: "List[LayerSpec] | None" = None) -> WorkloadSpec:
+    groups = [
+        transformer_block_layers(f"layer{i}", seq_len, dim, n_heads, ff_dim, kv_dim)
+        for i in range(n_layers)
+    ]
+    layers: List[LayerSpec] = [spec for group in groups for spec in group]
+    if extra:
+        layers.extend(extra)
+    return WorkloadSpec(
+        name=name,
+        kind=ModelKind.TRANSFORMER,
+        layers=tuple(layers),
+        description=description,
+        seq_len=seq_len,
+    )
+
+
+def mobilebert() -> WorkloadSpec:
+    """MobileBERT: 24 bottlenecked blocks, intra-size 128, 4 heads.
+
+    The bottleneck structure makes its blocks small and numerous — which is
+    why it pipelines so well in Fig. 10 (3.7x, the best of the five).
+    """
+    seq = 128
+    layers: List[LayerSpec] = []
+    for i in range(24):
+        prefix = f"layer{i}"
+        # Bottleneck entry/exit projections between 512 and 128 wide paths.
+        layers.append(
+            LayerSpec(f"{prefix}.bottleneck_in", LayerKind.PROJECTION, GemmShape(seq, 512, 128))
+        )
+        layers.extend(
+            transformer_block_layers(prefix, seq_len=seq, dim=128, n_heads=4, ff_dim=512)
+        )
+        layers.append(
+            LayerSpec(f"{prefix}.bottleneck_out", LayerKind.PROJECTION, GemmShape(seq, 128, 512))
+        )
+    return WorkloadSpec(
+        name="mobilebert",
+        kind=ModelKind.TRANSFORMER,
+        layers=tuple(layers),
+        description="MobileBERT, 24 bottleneck blocks, seq 128",
+        seq_len=seq,
+    )
+
+
+def qdqbert() -> WorkloadSpec:
+    """QDQBERT: quantized BERT-base (12 layers, hidden 768, 12 heads)."""
+    return _stacked(
+        name="qdqbert",
+        description="QDQBERT (BERT-base with QDQ int8 nodes), seq 128",
+        n_layers=12,
+        seq_len=128,
+        dim=768,
+        n_heads=12,
+        ff_dim=3072,
+    )
+
+
+def vision_transformer() -> WorkloadSpec:
+    """ViT-Base/16: 12 layers over 197 patch tokens (224x224, 16x16)."""
+    patch_embed = LayerSpec(
+        "patch_embed", LayerKind.PROJECTION, GemmShape(197, 16 * 16 * 3, 768)
+    )
+    head = LayerSpec("head", LayerKind.FC, GemmShape(1, 768, 1000))
+    spec = _stacked(
+        name="vit",
+        description="ViT-Base/16, 197 tokens",
+        n_layers=12,
+        seq_len=197,
+        dim=768,
+        n_heads=12,
+        ff_dim=3072,
+        extra=[head],
+    )
+    return WorkloadSpec(
+        name=spec.name,
+        kind=spec.kind,
+        layers=(patch_embed,) + spec.layers,
+        description=spec.description,
+        seq_len=spec.seq_len,
+    )
+
+
+def llama3_7b() -> WorkloadSpec:
+    """LLaMA3-7B (as the paper names it): 32 layers, dim 4096, GQA 8 KV heads.
+
+    Prefill over a 512-token prompt; the gated FFN's third matrix appears as
+    an extra up-projection per block.
+    """
+    seq = 512
+    dim = 4096
+    n_heads = 32
+    kv_dim = dim // 4  # 8 KV heads of 128 = grouped-query attention
+    ff = 11008
+    groups = []
+    for i in range(32):
+        block = transformer_block_layers(
+            f"layer{i}", seq_len=seq, dim=dim, n_heads=n_heads, ff_dim=ff, kv_dim=kv_dim
+        )
+        # SwiGLU: gate projection alongside ffn_up.
+        block.append(
+            LayerSpec(f"layer{i}.ffn_gate", LayerKind.FFN, GemmShape(seq, dim, ff))
+        )
+        groups.append(block)
+    layers = [spec for group in groups for spec in group]
+    layers.append(LayerSpec("lm_head", LayerKind.FC, GemmShape(1, dim, 32000)))
+    return WorkloadSpec(
+        name="llama3_7b",
+        kind=ModelKind.TRANSFORMER,
+        layers=tuple(layers),
+        description="LLaMA-class 7B decoder, 512-token prefill",
+        seq_len=seq,
+    )
+
+
+def gpt_large() -> WorkloadSpec:
+    """GPT-2 Large: 36 layers, dim 1280, 20 heads, 1024-token context."""
+    return _stacked(
+        name="gpt_large",
+        description="GPT-2 Large decoder, 1024-token prefill",
+        n_layers=36,
+        seq_len=1024,
+        dim=1280,
+        n_heads=20,
+        ff_dim=5120,
+    )

@@ -1,0 +1,60 @@
+"""Benchmark registry: the 10 models of the paper's evaluation.
+
+Section IV-A: "5 CNN models (AlexNet, VGG16, ResNet18, MobileNetV3, and
+DenseNet201) and 5 transformer-based AI models (MobileBERT, QDQBERT, Vision
+Transformer, and LLaMA3-7B)" — the list enumerates nine; Fig. 10 adds
+``gpt_large``, which completes the ten distinct networks this registry
+carries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.models.cnn_zoo import alexnet, densenet201, mobilenet_v3, resnet18, vgg16
+from repro.models.transformer_zoo import (
+    gpt_large,
+    llama3_7b,
+    mobilebert,
+    qdqbert,
+    vision_transformer,
+)
+from repro.models.workload import WorkloadSpec
+
+_BUILDERS: Dict[str, Callable[[], WorkloadSpec]] = {
+    "alexnet": alexnet,
+    "vgg16": vgg16,
+    "resnet18": resnet18,
+    "mobilenetv3": mobilenet_v3,
+    "densenet201": densenet201,
+    "mobilebert": mobilebert,
+    "qdqbert": qdqbert,
+    "vit": vision_transformer,
+    "llama3_7b": llama3_7b,
+    "gpt_large": gpt_large,
+}
+
+#: The ten networks of the Fig. 8 sweep.
+BENCHMARK_MODELS = tuple(_BUILDERS)
+
+#: The five CNN benchmarks.
+CNN_MODELS = ("alexnet", "vgg16", "resnet18", "mobilenetv3", "densenet201")
+
+#: The five transformer benchmarks (Fig. 10's pipeline study).
+TRANSFORMER_MODELS = ("gpt_large", "mobilebert", "qdqbert", "vit", "llama3_7b")
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Build a benchmark workload by name."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(_BUILDERS)}"
+        ) from None
+    return builder()
+
+
+def all_workloads() -> List[WorkloadSpec]:
+    """All ten benchmarks, in registry order."""
+    return [get_workload(name) for name in BENCHMARK_MODELS]

@@ -1,0 +1,207 @@
+"""Attention computation flows: standard, flash, and YOCO's incremental flow.
+
+Section III-D tailors attention to IMC: static projections (WQ/WK/WV) live
+in SIMAs; per-token Q/K/V stream into DIMAs; each new token produces one new
+score *row* (q_new against all stored K — computed by the K-DIMA) and one new
+score *column* (k_new against all stored Q — computed by the Q-DIMA); the SFU
+exponentiates the new scores and, flash-attention style, running statistics
+(row max ``m`` and normalizer ``l``) rescale the accumulated context so the
+final output is exact softmax attention without ever materialising the full
+score matrix.
+
+:func:`yoco_incremental_attention` implements that token-by-token recurrence
+(the algorithm of Fig. 5); tests verify it agrees with
+:func:`standard_attention` to numerical precision, which is the correctness
+claim behind the Fig. 10 pipeline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+
+
+def standard_attention(
+    q: np.ndarray, k: np.ndarray, v: np.ndarray, causal: bool = False
+) -> np.ndarray:
+    """Reference softmax(Q K^T / sqrt(d)) V, shapes (t, d)."""
+    q, k, v = _check_qkv(q, k, v)
+    d = q.shape[-1]
+    scores = q @ k.T / math.sqrt(d)
+    if causal:
+        t = scores.shape[0]
+        mask = np.triu(np.ones((t, t), dtype=bool), k=1)
+        scores = np.where(mask, -np.inf, scores)
+    return F.softmax(scores, axis=-1) @ v
+
+
+def flash_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    block_size: int = 32,
+    causal: bool = False,
+) -> np.ndarray:
+    """Online-softmax attention over key blocks (never stores full scores).
+
+    The numerically identical single-pass recurrence flash attention uses:
+    per query row keep running max ``m``, normalizer ``l`` and unnormalised
+    context ``acc``; each key block rescales them.
+    """
+    q, k, v = _check_qkv(q, k, v)
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    t, d = q.shape
+    scale = 1.0 / math.sqrt(d)
+    m = np.full(t, -np.inf)
+    l = np.zeros(t)
+    acc = np.zeros((t, d))
+    for start in range(0, k.shape[0], block_size):
+        kb = k[start : start + block_size]
+        vb = v[start : start + block_size]
+        scores = q @ kb.T * scale  # (t, block)
+        if causal:
+            cols = np.arange(start, start + kb.shape[0])[None, :]
+            rows = np.arange(t)[:, None]
+            scores = np.where(cols > rows, -np.inf, scores)
+        block_max = scores.max(axis=1)
+        new_m = np.maximum(m, block_max)
+        # Rows with no finite scores yet keep m = -inf; exp(-inf - -inf) is
+        # handled by treating their correction factor as 0.
+        correction = np.where(np.isfinite(m), np.exp(m - new_m), 0.0)
+        p = np.exp(scores - new_m[:, None])
+        p[~np.isfinite(scores)] = 0.0
+        l = l * correction + p.sum(axis=1)
+        acc = acc * correction[:, None] + p @ vb
+        m = new_m
+    if np.any(l == 0.0):
+        raise ValueError("a query row attended to no keys")
+    return acc / l[:, None]
+
+
+@dataclasses.dataclass
+class IncrementalAttentionState:
+    """Running state of the token-by-token YOCO attention flow."""
+
+    queries: np.ndarray  # (t, d) Q rows stored as Q-DIMA weights
+    keys: np.ndarray  # (t, d) K rows stored in the K-DIMA
+    values: np.ndarray  # (t, d) V rows stored in the V-DIMA
+    row_max: np.ndarray  # (t,) running max m_i per query row
+    normalizer: np.ndarray  # (t,) running softmax denominator l_i
+    context: np.ndarray  # (t, d) unnormalised attention accumulator
+
+    @property
+    def n_tokens(self) -> int:
+        return int(self.keys.shape[0])
+
+    def output(self) -> np.ndarray:
+        """Normalised attention output for all tokens so far."""
+        if np.any(self.normalizer == 0.0):
+            raise ValueError("normalizer is zero — no keys attended")
+        return self.context / self.normalizer[:, None]
+
+
+def yoco_incremental_attention_step(
+    state: Optional[IncrementalAttentionState],
+    q_new: np.ndarray,
+    k_new: np.ndarray,
+    v_new: np.ndarray,
+    causal: bool = True,
+) -> IncrementalAttentionState:
+    """Process one new token through the Fig. 5 dataflow.
+
+    * K-DIMA: score row  ``S_new-r = q_new @ K_all^T``  (1 x n)
+    * Q-DIMA: score col  ``S_new-c = Q_all @ k_new``    (n x 1)
+    * SFU: exponentials with flash-style max/normalizer updates
+    * V-DIMA: context refinement for all tokens
+
+    With ``causal=True`` (autoregressive LLM inference) the new column only
+    updates *past* rows at positions <= new index — matching a causal mask.
+    """
+    q_new = np.asarray(q_new, dtype=float).ravel()
+    k_new = np.asarray(k_new, dtype=float).ravel()
+    v_new = np.asarray(v_new, dtype=float).ravel()
+    d = q_new.shape[0]
+    scale = 1.0 / math.sqrt(d)
+
+    if state is None:
+        score = float(q_new @ k_new) * scale
+        return IncrementalAttentionState(
+            queries=q_new[None, :].copy(),
+            keys=k_new[None, :].copy(),
+            values=v_new[None, :].copy(),
+            row_max=np.array([score]),
+            normalizer=np.array([1.0]),
+            context=v_new[None, :].copy(),
+        )
+
+    queries = np.concatenate([state.queries, q_new[None, :]], axis=0)
+    keys = np.concatenate([state.keys, k_new[None, :]], axis=0)
+    values = np.concatenate([state.values, v_new[None, :]], axis=0)
+
+    # --- new token's own row: q_new against every stored key (K-DIMA).
+    score_row = keys @ q_new * scale  # (n_new,)
+    m_new = float(score_row.max())
+    p_row = np.exp(score_row - m_new)
+    l_new = float(p_row.sum())
+    ctx_new = p_row @ values  # (d,)
+
+    # --- existing rows gain one score column: stored Qs against k_new
+    # (Q-DIMA).  Under causality, past queries do not see the future key,
+    # so their state is untouched; bidirectional models (BERT/ViT) apply
+    # the flash-style "Update A_0..new-1" of Fig. 5.
+    if causal:
+        row_max = state.row_max.copy()
+        normalizer = state.normalizer.copy()
+        context = state.context.copy()
+    else:
+        score_col = state.queries @ k_new * scale  # (n_old,)
+        new_max = np.maximum(state.row_max, score_col)
+        correction = np.exp(state.row_max - new_max)
+        p_col = np.exp(score_col - new_max)
+        normalizer = state.normalizer * correction + p_col
+        context = state.context * correction[:, None] + p_col[:, None] * v_new[None, :]
+        row_max = new_max
+
+    return IncrementalAttentionState(
+        queries=queries,
+        keys=keys,
+        values=values,
+        row_max=np.concatenate([row_max, [m_new]]),
+        normalizer=np.concatenate([normalizer, [l_new]]),
+        context=np.concatenate([context, ctx_new[None, :]], axis=0),
+    )
+
+
+def yoco_incremental_attention(
+    q: np.ndarray, k: np.ndarray, v: np.ndarray, causal: bool = True
+) -> np.ndarray:
+    """Run the full token-by-token flow; returns (t, d) outputs.
+
+    Numerically equivalent to ``standard_attention(..., causal=causal)`` —
+    causal for autoregressive LLMs, bidirectional for BERT/ViT encoders.
+    """
+    q, k, v = _check_qkv(q, k, v)
+    state: Optional[IncrementalAttentionState] = None
+    for i in range(q.shape[0]):
+        state = yoco_incremental_attention_step(state, q[i], k[i], v[i], causal=causal)
+    assert state is not None
+    return state.output()
+
+
+def _check_qkv(q: np.ndarray, k: np.ndarray, v: np.ndarray):
+    q = np.asarray(q, dtype=float)
+    k = np.asarray(k, dtype=float)
+    v = np.asarray(v, dtype=float)
+    if q.ndim != 2 or k.ndim != 2 or v.ndim != 2:
+        raise ValueError("q, k, v must be 2-D (tokens, dim)")
+    if q.shape[1] != k.shape[1]:
+        raise ValueError("q and k feature dimensions disagree")
+    if k.shape[0] != v.shape[0]:
+        raise ValueError("k and v token counts disagree")
+    return q, k, v

@@ -1,0 +1,369 @@
+"""A small reverse-mode autograd engine over numpy.
+
+The Fig. 6(f) experiment needs *trained* networks whose accuracy can be
+measured with and without analog error injection.  Rather than shipping
+pre-baked weights, the repository trains its stand-in models from scratch —
+this module provides the machinery: a :class:`Tensor` that records the
+computation graph and differentiates through every op the model zoo needs
+(GEMM, conv via im2col, pooling, GELU/ReLU, layernorm, softmax, embedding).
+
+Design notes: ops are free functions building closures for their vector-
+Jacobian products; broadcasting is supported by summing gradients back to
+the operand shape (:func:`_sum_to_shape`); `backward` runs a topological
+sort so each node's gradient is complete before propagating.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+
+
+class Tensor:
+    """A numpy array plus gradient bookkeeping."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn")
+
+    def __init__(
+        self,
+        data: "np.ndarray | float",
+        requires_grad: bool = False,
+        parents: Tuple["Tensor", ...] = (),
+        backward_fn: Optional[Callable[[np.ndarray], None]] = None,
+    ) -> None:
+        self.data = np.asarray(data, dtype=float)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = requires_grad
+        self._parents = parents
+        self._backward_fn = backward_fn
+
+    # -- ergonomics -----------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    def __repr__(self) -> str:
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data.copy())
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # -- graph traversal ---------------------------------------------------------
+    def backward(self, grad: "np.ndarray | None" = None) -> None:
+        """Accumulate gradients of this (scalar) tensor w.r.t. all leaves."""
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without grad requires a scalar output")
+            grad = np.ones_like(self.data)
+        topo: List[Tensor] = []
+        seen = set()
+
+        def visit(node: "Tensor") -> None:
+            if id(node) in seen:
+                return
+            seen.add(id(node))
+            for parent in node._parents:
+                visit(parent)
+            topo.append(node)
+
+        visit(self)
+        self._accumulate(np.asarray(grad, dtype=float))
+        for node in reversed(topo):
+            if node._backward_fn is not None and node.grad is not None:
+                node._backward_fn(node.grad)
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    # -- operators ------------------------------------------------------------------
+    def __add__(self, other: "Tensor | float") -> "Tensor":
+        return add(self, _as_tensor(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "Tensor | float") -> "Tensor":
+        return add(self, mul(_as_tensor(other), _as_tensor(-1.0)))
+
+    def __mul__(self, other: "Tensor | float") -> "Tensor":
+        return mul(self, _as_tensor(other))
+
+    __rmul__ = __mul__
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        return matmul(self, other)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        return reshape(self, shape)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        return transpose(self, axes or None)
+
+    def sum(self, axis: "int | None" = None) -> "Tensor":
+        return sum_(self, axis)
+
+    def mean(self, axis: "int | None" = None) -> "Tensor":
+        return mean(self, axis)
+
+
+def _as_tensor(value: "Tensor | float") -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def _sum_to_shape(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce a broadcasted gradient back to the operand's shape."""
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+def _make(
+    data: np.ndarray,
+    parents: Tuple[Tensor, ...],
+    backward_fn: Callable[[np.ndarray], None],
+) -> Tensor:
+    requires = any(p.requires_grad for p in parents)
+    return Tensor(
+        data,
+        requires_grad=requires,
+        parents=tuple(p for p in parents if p.requires_grad) if requires else (),
+        backward_fn=backward_fn if requires else None,
+    )
+
+
+# -- arithmetic ----------------------------------------------------------------------
+def add(a: Tensor, b: Tensor) -> Tensor:
+    out_data = a.data + b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(_sum_to_shape(grad, a.shape))
+        if b.requires_grad:
+            b._accumulate(_sum_to_shape(grad, b.shape))
+
+    return _make(out_data, (a, b), backward)
+
+
+def mul(a: Tensor, b: Tensor) -> Tensor:
+    out_data = a.data * b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(_sum_to_shape(grad * b.data, a.shape))
+        if b.requires_grad:
+            b._accumulate(_sum_to_shape(grad * a.data, b.shape))
+
+    return _make(out_data, (a, b), backward)
+
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    """Batched matrix product (numpy @ semantics)."""
+    out_data = a.data @ b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            ga = grad @ np.swapaxes(b.data, -1, -2)
+            a._accumulate(_sum_to_shape(ga, a.shape))
+        if b.requires_grad:
+            gb = np.swapaxes(a.data, -1, -2) @ grad
+            b._accumulate(_sum_to_shape(gb, b.shape))
+
+    return _make(out_data, (a, b), backward)
+
+
+def reshape(a: Tensor, shape: Tuple[int, ...]) -> Tensor:
+    out_data = a.data.reshape(shape)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad.reshape(a.shape))
+
+    return _make(out_data, (a,), backward)
+
+
+def transpose(a: Tensor, axes: "Tuple[int, ...] | None") -> Tensor:
+    out_data = a.data.transpose(axes)
+
+    def backward(grad: np.ndarray) -> None:
+        if axes is None:
+            a._accumulate(grad.transpose())
+        else:
+            inverse = np.argsort(axes)
+            a._accumulate(grad.transpose(inverse))
+
+    return _make(out_data, (a,), backward)
+
+
+def sum_(a: Tensor, axis: "int | None" = None) -> Tensor:
+    out_data = a.data.sum(axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        if axis is None:
+            a._accumulate(np.broadcast_to(grad, a.shape).copy())
+        else:
+            a._accumulate(np.broadcast_to(np.expand_dims(grad, axis), a.shape).copy())
+
+    return _make(out_data, (a,), backward)
+
+
+def mean(a: Tensor, axis: "int | None" = None) -> Tensor:
+    count = a.data.size if axis is None else a.shape[axis]
+    return mul(sum_(a, axis), _as_tensor(1.0 / count))
+
+
+# -- nonlinearities --------------------------------------------------------------------
+def relu(a: Tensor) -> Tensor:
+    out_data = F.relu(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * (a.data > 0.0))
+
+    return _make(out_data, (a,), backward)
+
+
+def gelu(a: Tensor) -> Tensor:
+    out_data = F.gelu(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * F.gelu_grad(a.data))
+
+    return _make(out_data, (a,), backward)
+
+
+def softmax(a: Tensor, axis: int = -1) -> Tensor:
+    out_data = F.softmax(a.data, axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        inner = (grad * out_data).sum(axis=axis, keepdims=True)
+        a._accumulate(out_data * (grad - inner))
+
+    return _make(out_data, (a,), backward)
+
+
+def layer_norm(a: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the last axis, differentiable in all args."""
+    mean_ = a.data.mean(axis=-1, keepdims=True)
+    var = a.data.var(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (a.data - mean_) * inv_std
+    out_data = gamma.data * x_hat + beta.data
+
+    def backward(grad: np.ndarray) -> None:
+        if gamma.requires_grad:
+            gamma._accumulate(_sum_to_shape(grad * x_hat, gamma.shape))
+        if beta.requires_grad:
+            beta._accumulate(_sum_to_shape(grad, beta.shape))
+        if a.requires_grad:
+            n = a.shape[-1]
+            g = grad * gamma.data
+            gx = (
+                g - g.mean(axis=-1, keepdims=True)
+                - x_hat * (g * x_hat).mean(axis=-1, keepdims=True)
+            ) * inv_std
+            a._accumulate(gx)
+
+    return _make(out_data, (a, gamma, beta), backward)
+
+
+# -- structured ops ----------------------------------------------------------------------
+def conv2d(
+    x: Tensor, weight: Tensor, bias: Optional[Tensor], stride: int, padding: int
+) -> Tensor:
+    """Convolution via im2col; differentiates through the unfold."""
+    o, c, kh, kw = weight.shape
+    patches, (out_h, out_w) = F.im2col(x.data, (kh, kw), stride, padding)
+    w2 = weight.data.reshape(o, c * kh * kw)
+    out = patches @ w2.T
+    if bias is not None:
+        out = out + bias.data[None, :]
+    n = x.shape[0]
+    out_data = out.reshape(n, out_h, out_w, o).transpose(0, 3, 1, 2)
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        grad2 = grad.transpose(0, 2, 3, 1).reshape(-1, o)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad2.sum(axis=0))
+        if weight.requires_grad:
+            gw = grad2.T @ patches
+            weight._accumulate(gw.reshape(weight.shape))
+        if x.requires_grad:
+            gcols = grad2 @ w2
+            x._accumulate(F.col2im(gcols, x.shape, (kh, kw), stride, padding))
+
+    return _make(out_data, parents, backward)
+
+
+def max_pool2d(x: Tensor, kernel: int = 2, stride: "int | None" = None) -> Tensor:
+    stride = stride or kernel
+    out_data, mask = F.max_pool2d(x.data, kernel, stride)
+
+    def backward(grad: np.ndarray) -> None:
+        n, c, out_h, out_w = grad.shape
+        gx = np.zeros_like(x.data)
+        expanded = mask * grad[..., None]
+        cols = expanded.reshape(n, c, out_h, out_w, kernel, kernel)
+        for i in range(kernel):
+            for j in range(kernel):
+                gx[:, :, i : i + out_h * stride : stride, j : j + out_w * stride : stride] += (
+                    cols[:, :, :, :, i, j]
+                )
+        x._accumulate(gx)
+
+    return _make(out_data, (x,), backward)
+
+
+def embedding(table: Tensor, indices: np.ndarray) -> Tensor:
+    """Row lookup: (vocab, dim) table gathered by integer indices."""
+    idx = np.asarray(indices)
+    out_data = table.data[idx]
+
+    def backward(grad: np.ndarray) -> None:
+        gt = np.zeros_like(table.data)
+        np.add.at(gt, idx.ravel(), grad.reshape(-1, table.shape[-1]))
+        table._accumulate(gt)
+
+    return _make(out_data, (table,), backward)
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy with integer labels (fused log-softmax backward)."""
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ValueError("logits must be (batch, classes)")
+    logp = F.log_softmax(logits.data, axis=-1)
+    batch = logits.shape[0]
+    loss = -logp[np.arange(batch), labels].mean()
+
+    def backward(grad: np.ndarray) -> None:
+        probs = np.exp(logp)
+        probs[np.arange(batch), labels] -= 1.0
+        logits._accumulate(grad * probs / batch)
+
+    return _make(np.asarray(loss), (logits,), backward)
+
+
+def xavier_init(
+    rng: np.random.Generator, fan_in: int, fan_out: int, shape: Tuple[int, ...]
+) -> np.ndarray:
+    """Glorot-uniform initialisation."""
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)

@@ -1,0 +1,176 @@
+"""Forward-only numpy NN primitives.
+
+These are the reference implementations shared by the autograd ops
+(:mod:`repro.nn.autograd`) and the quantized inference path
+(:mod:`repro.nn.backend`).  Convolutions lower to GEMM via im2col — exactly
+how the architecture mapper views them, so the same (M, K, N) shapes flow
+through both the functional model and the performance model.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+
+def im2col(
+    x: np.ndarray, kernel: Tuple[int, int], stride: int = 1, padding: int = 0
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Unfold (N, C, H, W) into GEMM rows.
+
+    Returns ``(patches, (out_h, out_w))`` where ``patches`` has shape
+    ``(N * out_h * out_w, C * kh * kw)`` — one row per output pixel.
+    """
+    if x.ndim != 4:
+        raise ValueError(f"expected NCHW input, got shape {x.shape}")
+    kh, kw = kernel
+    n, c, h, w = x.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    ph, pw = x.shape[2], x.shape[3]
+    out_h = (ph - kh) // stride + 1
+    out_w = (pw - kw) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError("kernel does not fit into padded input")
+    strides = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    patches = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * out_h * out_w, c * kh * kw)
+    return np.ascontiguousarray(patches), (out_h, out_w)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Scatter-add GEMM-row gradients back to (N, C, H, W) (im2col adjoint)."""
+    kh, kw = kernel
+    n, c, h, w = x_shape
+    ph, pw = h + 2 * padding, w + 2 * padding
+    out_h = (ph - kh) // stride + 1
+    out_w = (pw - kw) // stride + 1
+    grad = np.zeros((n, c, ph, pw), dtype=cols.dtype)
+    cols6 = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+    for i in range(kh):
+        for j in range(kw):
+            grad[:, :, i : i + out_h * stride : stride, j : j + out_w * stride : stride] += (
+                cols6[:, :, :, :, i, j]
+            )
+    if padding:
+        grad = grad[:, :, padding:-padding, padding:-padding]
+    return grad
+
+
+def conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: "np.ndarray | None" = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """2-D convolution, (N,C,H,W) x (O,C,kh,kw) -> (N,O,H',W')."""
+    o, c, kh, kw = weight.shape
+    patches, (out_h, out_w) = im2col(x, (kh, kw), stride, padding)
+    out = patches @ weight.reshape(o, c * kh * kw).T
+    if bias is not None:
+        out = out + bias[None, :]
+    n = x.shape[0]
+    return out.reshape(n, out_h, out_w, o).transpose(0, 3, 1, 2)
+
+
+def max_pool2d(
+    x: np.ndarray, kernel: int = 2, stride: "int | None" = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Max pooling; returns (output, argmax_mask) for the backward pass."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    strides = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kernel, kernel),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    flat = windows.reshape(n, c, out_h, out_w, kernel * kernel)
+    out = flat.max(axis=-1)
+    mask = flat == out[..., None]
+    # Break ties toward the first maximum so gradients stay well-defined.
+    first = np.cumsum(mask, axis=-1) == 1
+    return out, (mask & first)
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """GELU (tanh approximation, as used by BERT-family models)."""
+    return 0.5 * x * (1.0 + np.tanh(math.sqrt(2.0 / math.pi) * (x + 0.044715 * x**3)))
+
+
+def gelu_grad(x: np.ndarray) -> np.ndarray:
+    """d(gelu)/dx of the tanh approximation."""
+    k = math.sqrt(2.0 / math.pi)
+    inner = k * (x + 0.044715 * x**3)
+    t = np.tanh(inner)
+    d_inner = k * (1.0 + 3 * 0.044715 * x**2)
+    return 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t**2) * d_inner
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+def layer_norm(
+    x: np.ndarray, gamma: np.ndarray, beta: np.ndarray, eps: float = 1e-5
+) -> np.ndarray:
+    """Layer normalisation over the last axis."""
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    return gamma * (x - mean) / np.sqrt(var + eps) + beta
+
+
+def cross_entropy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Mean cross-entropy of integer labels against logits."""
+    if logits.ndim != 2:
+        raise ValueError("logits must be (batch, classes)")
+    logp = log_softmax(logits, axis=-1)
+    return float(-logp[np.arange(len(labels)), labels].mean())
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 classification accuracy."""
+    return float((logits.argmax(axis=-1) == labels).mean())

@@ -1,0 +1,101 @@
+"""Module base class and containers.
+
+Every layer implements two paths over the same parameters:
+
+* ``forward(Tensor) -> Tensor`` — differentiable float path (training and
+  the "Original" accuracy baseline of Fig. 6(f));
+* ``infer(ndarray, InferenceContext) -> ndarray`` — the deployment path
+  where every GEMM is routed through a pluggable backend (exact float,
+  int8 quantized, or the YOCO analog engine).
+
+The two paths share weights, so the accuracy comparison isolates exactly
+the arithmetic substitution — which is the point of the experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+from repro.nn.backend import InferenceContext
+
+
+class Module:
+    """Base class: parameter discovery + the two execution paths."""
+
+    def parameters(self) -> List[Tensor]:
+        """All trainable tensors of this module and its children."""
+        params: List[Tensor] = []
+        seen = set()
+        for value in self.__dict__.values():
+            for tensor in _tensors_of(value):
+                if id(tensor) not in seen:
+                    seen.add(id(tensor))
+                    params.append(tensor)
+        return params
+
+    def children(self) -> Iterator["Module"]:
+        for value in self.__dict__.values():
+            yield from _modules_of(value)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def n_parameters(self) -> int:
+        return sum(p.data.size for p in self.parameters())
+
+    def forward(self, x: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def infer(self, x: np.ndarray, ctx: InferenceContext) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.forward(x)
+
+
+def _tensors_of(value) -> Iterator[Tensor]:
+    if isinstance(value, Tensor):
+        if value.requires_grad:
+            yield value
+    elif isinstance(value, Module):
+        yield from value.parameters()
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _tensors_of(item)
+
+
+def _modules_of(value) -> Iterator[Module]:
+    if isinstance(value, Module):
+        yield value
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _modules_of(item)
+
+
+class Sequential(Module):
+    """A linear chain of modules."""
+
+    def __init__(self, *modules: Module) -> None:
+        if not modules:
+            raise ValueError("Sequential needs at least one module")
+        self.modules = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.modules:
+            x = module(x)
+        return x
+
+    def infer(self, x: np.ndarray, ctx: InferenceContext) -> np.ndarray:
+        for module in self.modules:
+            x = module.infer(x, ctx)
+        return x
+
+    def __getitem__(self, index: int) -> Module:
+        return self.modules[index]
+
+    def __len__(self) -> int:
+        return len(self.modules)

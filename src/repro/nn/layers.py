@@ -1,0 +1,300 @@
+"""Neural-network layers with dual execution paths.
+
+Every layer runs either through autograd (:meth:`forward`, float training
+path) or through a :class:`~repro.nn.backend.InferenceContext`
+(:meth:`infer`, deployment path) where each GEMM — linear, convolution via
+im2col, attention score and context products — is delegated to the
+configured backend.  ``infer`` must be numerically identical to ``forward``
+under a :class:`~repro.nn.backend.FloatBackend`; tests enforce this.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import autograd as ag
+from repro.nn import functional as F
+from repro.nn.autograd import Tensor
+from repro.nn.backend import InferenceContext
+from repro.nn.graph import Module
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W + b`` with Glorot init."""
+
+    def __init__(
+        self, in_features: int, out_features: int, bias: bool = True, seed: int = 0
+    ) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature dimensions must be positive")
+        rng = np.random.default_rng(seed)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(
+            ag.xavier_init(rng, in_features, out_features, (in_features, out_features)),
+            requires_grad=True,
+        )
+        self.bias = (
+            Tensor(np.zeros(out_features), requires_grad=True) if bias else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = ag.matmul(x, self.weight)
+        if self.bias is not None:
+            out = ag.add(out, self.bias)
+        return out
+
+    def infer(self, x: np.ndarray, ctx: InferenceContext) -> np.ndarray:
+        name = ctx.scoped_name("linear")
+        flat = x.reshape(-1, x.shape[-1])
+        out = ctx.matmul(name, flat, self.weight.data)
+        if self.bias is not None:
+            out = out + self.bias.data[None, :]
+        return out.reshape(*x.shape[:-1], self.out_features)
+
+
+class Conv2d(Module):
+    """2-D convolution lowered to GEMM via im2col."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if kernel_size <= 0 or stride <= 0 or padding < 0:
+            raise ValueError("invalid convolution geometry")
+        rng = np.random.default_rng(seed)
+        fan_in = in_channels * kernel_size * kernel_size
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = Tensor(
+            ag.xavier_init(
+                rng,
+                fan_in,
+                out_channels,
+                (out_channels, in_channels, kernel_size, kernel_size),
+            ),
+            requires_grad=True,
+        )
+        self.bias = (
+            Tensor(np.zeros(out_channels), requires_grad=True) if bias else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ag.conv2d(x, self.weight, self.bias, self.stride, self.padding)
+
+    def infer(self, x: np.ndarray, ctx: InferenceContext) -> np.ndarray:
+        name = ctx.scoped_name("conv")
+        k = self.kernel_size
+        patches, (out_h, out_w) = F.im2col(x, (k, k), self.stride, self.padding)
+        w2 = self.weight.data.reshape(self.out_channels, -1).T  # (k_dim, out)
+        out = ctx.matmul(name, patches, w2)
+        if self.bias is not None:
+            out = out + self.bias.data[None, :]
+        n = x.shape[0]
+        return out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ag.relu(x)
+
+    def infer(self, x: np.ndarray, ctx: InferenceContext) -> np.ndarray:
+        return F.relu(x)
+
+
+class GELU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ag.gelu(x)
+
+    def infer(self, x: np.ndarray, ctx: InferenceContext) -> np.ndarray:
+        return F.gelu(x)
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel: int = 2, stride: Optional[int] = None) -> None:
+        if kernel <= 0:
+            raise ValueError("kernel must be positive")
+        self.kernel = kernel
+        self.stride = stride or kernel
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ag.max_pool2d(x, self.kernel, self.stride)
+
+    def infer(self, x: np.ndarray, ctx: InferenceContext) -> np.ndarray:
+        out, _ = F.max_pool2d(x, self.kernel, self.stride)
+        return out
+
+
+class GlobalAvgPool2d(Module):
+    """(N, C, H, W) -> (N, C) spatial mean."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, c = x.shape[0], x.shape[1]
+        flat = ag.reshape(x, (n, c, -1))
+        return ag.mean(flat, axis=2)
+
+    def infer(self, x: np.ndarray, ctx: InferenceContext) -> np.ndarray:
+        return x.mean(axis=(2, 3))
+
+
+class Flatten(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ag.reshape(x, (x.shape[0], -1))
+
+    def infer(self, x: np.ndarray, ctx: InferenceContext) -> np.ndarray:
+        return x.reshape(x.shape[0], -1)
+
+
+class LayerNorm(Module):
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Tensor(np.ones(dim), requires_grad=True)
+        self.beta = Tensor(np.zeros(dim), requires_grad=True)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ag.layer_norm(x, self.gamma, self.beta, self.eps)
+
+    def infer(self, x: np.ndarray, ctx: InferenceContext) -> np.ndarray:
+        return F.layer_norm(x, self.gamma.data, self.beta.data, self.eps)
+
+
+class Embedding(Module):
+    """Integer-index row lookup.  ``forward``/``infer`` take index arrays."""
+
+    def __init__(self, vocab_size: int, dim: int, seed: int = 0) -> None:
+        if vocab_size <= 0 or dim <= 0:
+            raise ValueError("vocab_size and dim must be positive")
+        rng = np.random.default_rng(seed)
+        self.table = Tensor(rng.normal(0.0, 0.02, (vocab_size, dim)), requires_grad=True)
+
+    def forward(self, indices: np.ndarray) -> Tensor:  # type: ignore[override]
+        return ag.embedding(self.table, indices)
+
+    def infer(self, indices: np.ndarray, ctx: InferenceContext) -> np.ndarray:
+        return self.table.data[np.asarray(indices)]
+
+
+class MultiHeadSelfAttention(Module):
+    """Scaled dot-product self-attention (Eq. 1 of the paper).
+
+    On YOCO hardware the Q/K/V projections run on SIMAs (static weights)
+    while the score (Q K^T) and context (A V) products run on DIMAs (dynamic
+    matrices) — in ``infer`` all of them route through the backend, so the
+    analog error reaches every matrix product exactly as it would on chip.
+    """
+
+    def __init__(self, dim: int, n_heads: int, seed: int = 0) -> None:
+        if dim % n_heads:
+            raise ValueError("dim must be divisible by n_heads")
+        self.dim = dim
+        self.n_heads = n_heads
+        self.head_dim = dim // n_heads
+        self.wq = Linear(dim, dim, seed=seed)
+        self.wk = Linear(dim, dim, seed=seed + 1)
+        self.wv = Linear(dim, dim, seed=seed + 2)
+        self.wo = Linear(dim, dim, seed=seed + 3)
+
+    def _split_heads_data(self, x: np.ndarray) -> np.ndarray:
+        b, t, _ = x.shape
+        return x.reshape(b, t, self.n_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor) -> Tensor:
+        b, t, d = x.shape
+        q = ag.reshape(self.wq(x), (b, t, self.n_heads, self.head_dim))
+        k = ag.reshape(self.wk(x), (b, t, self.n_heads, self.head_dim))
+        v = ag.reshape(self.wv(x), (b, t, self.n_heads, self.head_dim))
+        q = ag.transpose(q, (0, 2, 1, 3))
+        k = ag.transpose(k, (0, 2, 3, 1))
+        v = ag.transpose(v, (0, 2, 1, 3))
+        scores = ag.mul(ag.matmul(q, k), ag.Tensor(1.0 / math.sqrt(self.head_dim)))
+        attn = ag.softmax(scores, axis=-1)
+        context = ag.matmul(attn, v)  # (b, heads, t, head_dim)
+        context = ag.transpose(context, (0, 2, 1, 3))
+        context = ag.reshape(context, (b, t, d))
+        return self.wo(context)
+
+    def infer(self, x: np.ndarray, ctx: InferenceContext) -> np.ndarray:
+        b, t, d = x.shape
+        q = self._split_heads_data(self.wq.infer(x, ctx))
+        k = self._split_heads_data(self.wk.infer(x, ctx))
+        v = self._split_heads_data(self.wv.infer(x, ctx))
+        scale = 1.0 / math.sqrt(self.head_dim)
+        score_name = ctx.scoped_name("attn_qk")
+        ctx_name = ctx.scoped_name("attn_av")
+        out = np.empty((b, self.n_heads, t, self.head_dim))
+        for bi in range(b):
+            for h in range(self.n_heads):
+                # Dynamic x dynamic products: K (resp. V) acts as the
+                # "weight" operand, freshly programmed into a DIMA.
+                scores = ctx.matmul(
+                    f"{score_name}.b{bi}h{h}", q[bi, h], k[bi, h].T
+                ) * scale
+                attn = F.softmax(scores, axis=-1)
+                out[bi, h] = ctx.matmul(f"{ctx_name}.b{bi}h{h}", attn, v[bi, h])
+        merged = out.transpose(0, 2, 1, 3).reshape(b, t, d)
+        return self.wo.infer(merged, ctx)
+
+
+class ResidualBlock(Module):
+    """A ResNet basic block: two 3x3 convs with an identity skip.
+
+    When the channel count changes, the skip path uses a 1x1 projection —
+    the same structure the ResNet-18 workload spec encodes for the mapper.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, seed: int = 0) -> None:
+        self.conv1 = Conv2d(in_channels, out_channels, kernel_size=3, padding=1, seed=seed)
+        self.conv2 = Conv2d(out_channels, out_channels, kernel_size=3, padding=1, seed=seed + 1)
+        self.projection = (
+            Conv2d(in_channels, out_channels, kernel_size=1, seed=seed + 2)
+            if in_channels != out_channels
+            else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden = ag.relu(self.conv1(x))
+        hidden = self.conv2(hidden)
+        skip = x if self.projection is None else self.projection(x)
+        return ag.relu(ag.add(hidden, skip))
+
+    def infer(self, x: np.ndarray, ctx: InferenceContext) -> np.ndarray:
+        hidden = F.relu(self.conv1.infer(x, ctx))
+        hidden = self.conv2.infer(hidden, ctx)
+        skip = x if self.projection is None else self.projection.infer(x, ctx)
+        return F.relu(hidden + skip)
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer encoder block: LN-MHSA-residual, LN-FF-residual."""
+
+    def __init__(self, dim: int, n_heads: int, ff_dim: int, seed: int = 0) -> None:
+        self.ln1 = LayerNorm(dim)
+        self.attention = MultiHeadSelfAttention(dim, n_heads, seed=seed)
+        self.ln2 = LayerNorm(dim)
+        self.ff1 = Linear(dim, ff_dim, seed=seed + 10)
+        self.ff2 = Linear(ff_dim, dim, seed=seed + 11)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = ag.add(x, self.attention(self.ln1(x)))
+        hidden = ag.gelu(self.ff1(self.ln2(x)))
+        return ag.add(x, self.ff2(hidden))
+
+    def infer(self, x: np.ndarray, ctx: InferenceContext) -> np.ndarray:
+        x = x + self.attention.infer(self.ln1.infer(x, ctx), ctx)
+        hidden = F.gelu(self.ff1.infer(self.ln2.infer(x, ctx), ctx))
+        return x + self.ff2.infer(hidden, ctx)

@@ -1,0 +1,95 @@
+"""Post-training 8-bit quantization utilities.
+
+YOCO computes on uint8 activations and (offset-encoded) int8 weights, so the
+inference backends quantize with the standard scheme:
+
+* **activations** — asymmetric per-tensor uint8: ``x_q = round(x / s) + z``;
+* **weights** — symmetric per-output-channel int8: ``w_q = round(w / s_j)``.
+
+The affine algebra then gives ``x @ w ~= s_x * s_j * (x_q - z) @ w_q``,
+which maps directly onto :meth:`repro.core.engine.YocoMatmulEngine.matmul_signed`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class ActivationQuant:
+    """Asymmetric uint8 quantization parameters of one activation tensor."""
+
+    scale: float
+    zero_point: int
+    bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0.0:
+            raise ValueError("scale must be positive")
+        if not 0 <= self.zero_point < (1 << self.bits):
+            raise ValueError("zero_point out of range")
+
+    @property
+    def q_max(self) -> int:
+        return (1 << self.bits) - 1
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Float -> uint codes."""
+        codes = np.rint(np.asarray(x, dtype=float) / self.scale) + self.zero_point
+        return np.clip(codes, 0, self.q_max).astype(np.int64)
+
+    def dequantize(self, codes: np.ndarray) -> np.ndarray:
+        """Uint codes -> float."""
+        return (np.asarray(codes, dtype=float) - self.zero_point) * self.scale
+
+
+@dataclasses.dataclass(frozen=True)
+class WeightQuant:
+    """Symmetric per-column int8 quantization of a (k, n) weight matrix."""
+
+    scales: np.ndarray  # (n,)
+    bits: int = 8
+
+    @property
+    def q_max(self) -> int:
+        return (1 << (self.bits - 1)) - 1
+
+    def quantize(self, w: np.ndarray) -> np.ndarray:
+        codes = np.rint(np.asarray(w, dtype=float) / self.scales[None, :])
+        return np.clip(codes, -self.q_max - 1, self.q_max).astype(np.int64)
+
+    def dequantize(self, codes: np.ndarray) -> np.ndarray:
+        return np.asarray(codes, dtype=float) * self.scales[None, :]
+
+
+def calibrate_activation(x: np.ndarray, bits: int = 8) -> ActivationQuant:
+    """Min/max asymmetric calibration of an activation tensor."""
+    arr = np.asarray(x, dtype=float)
+    lo = float(min(arr.min(), 0.0))
+    hi = float(max(arr.max(), 0.0))
+    if hi == lo:
+        hi = lo + 1e-8
+    q_max = (1 << bits) - 1
+    scale = (hi - lo) / q_max
+    zero_point = int(np.clip(np.rint(-lo / scale), 0, q_max))
+    return ActivationQuant(scale=scale, zero_point=zero_point, bits=bits)
+
+
+def calibrate_weight(w: np.ndarray, bits: int = 8) -> WeightQuant:
+    """Symmetric per-output-column calibration of a (k, n) weight matrix."""
+    arr = np.asarray(w, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError("weights must be 2-D (k, n)")
+    q_max = (1 << (bits - 1)) - 1
+    max_abs = np.abs(arr).max(axis=0)
+    scales = np.where(max_abs > 0.0, max_abs / q_max, 1.0)
+    return WeightQuant(scales=scales, bits=bits)
+
+
+def quantization_error(x: np.ndarray, bits: int = 8) -> float:
+    """RMS round-trip error of asymmetric quantization (diagnostics)."""
+    params = calibrate_activation(x, bits)
+    restored = params.dequantize(params.quantize(x))
+    return float(np.sqrt(np.mean((np.asarray(x, dtype=float) - restored) ** 2)))

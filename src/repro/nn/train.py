@@ -1,0 +1,146 @@
+"""Training loop and evaluation for the stand-in networks.
+
+Small Adam-optimized classifiers are all Fig. 6(f) needs; ``evaluate``
+additionally runs a model's inference path on any backend, which is how the
+accuracy-vs-arithmetic comparison is produced.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.nn import autograd as ag
+from repro.nn import functional as F
+from repro.nn.autograd import Tensor
+from repro.nn.backend import FloatBackend, InferenceContext, MatmulBackend
+from repro.nn.datasets import Dataset
+from repro.nn.graph import Module
+
+
+class Adam:
+    """Adam optimizer over a module's parameters."""
+
+    def __init__(
+        self,
+        params: List[Tensor],
+        lr: float = 1e-3,
+        betas: "tuple[float, float]" = (0.9, 0.999),
+        eps: float = 1e-8,
+    ) -> None:
+        if lr <= 0.0:
+            raise ValueError("learning rate must be positive")
+        self._params = params
+        self._lr = lr
+        self._b1, self._b2 = betas
+        self._eps = eps
+        self._m = [np.zeros_like(p.data) for p in params]
+        self._v = [np.zeros_like(p.data) for p in params]
+        self._t = 0
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        self._t += 1
+        for i, param in enumerate(self._params):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            self._m[i] = self._b1 * self._m[i] + (1.0 - self._b1) * grad
+            self._v[i] = self._b2 * self._v[i] + (1.0 - self._b2) * grad**2
+            m_hat = self._m[i] / (1.0 - self._b1**self._t)
+            v_hat = self._v[i] / (1.0 - self._b2**self._t)
+            param.data -= self._lr * m_hat / (np.sqrt(v_hat) + self._eps)
+
+    def zero_grad(self) -> None:
+        for param in self._params:
+            param.zero_grad()
+
+
+@dataclasses.dataclass
+class TrainHistory:
+    """Per-epoch loss/accuracy trace."""
+
+    losses: List[float] = dataclasses.field(default_factory=list)
+    train_accuracies: List[float] = dataclasses.field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        if not self.losses:
+            raise ValueError("no epochs recorded")
+        return self.losses[-1]
+
+
+def train_classifier(
+    model: Module,
+    dataset: Dataset,
+    epochs: int = 10,
+    batch_size: int = 64,
+    lr: float = 1e-3,
+    seed: int = 0,
+    forward: Optional[Callable[[Module, np.ndarray], Tensor]] = None,
+) -> TrainHistory:
+    """Train a classifier with Adam + cross-entropy.
+
+    Parameters
+    ----------
+    forward:
+        Optional override of how a batch flows through the model (models
+        whose first layer is an :class:`~repro.nn.layers.Embedding` take raw
+        integer arrays; the default wraps the batch in a Tensor).
+    """
+    if epochs <= 0 or batch_size <= 0:
+        raise ValueError("epochs and batch_size must be positive")
+    rng = np.random.default_rng(seed)
+    optimizer = Adam(model.parameters(), lr=lr)
+    history = TrainHistory()
+    n = len(dataset.x_train)
+    run_forward = forward if forward is not None else _default_forward
+    for _ in range(epochs):
+        order = rng.permutation(n)
+        epoch_loss = 0.0
+        correct = 0
+        for start in range(0, n, batch_size):
+            idx = order[start : start + batch_size]
+            xb = dataset.x_train[idx]
+            yb = dataset.y_train[idx]
+            optimizer.zero_grad()
+            logits = run_forward(model, xb)
+            loss = ag.cross_entropy(logits, yb)
+            loss.backward()
+            optimizer.step()
+            epoch_loss += loss.item() * len(idx)
+            correct += int((logits.data.argmax(axis=-1) == yb).sum())
+        history.losses.append(epoch_loss / n)
+        history.train_accuracies.append(correct / n)
+    return history
+
+
+def _default_forward(model: Module, batch: np.ndarray) -> Tensor:
+    return model(Tensor(batch))
+
+
+def evaluate(
+    model: Module,
+    x: np.ndarray,
+    y: np.ndarray,
+    backend: Optional[MatmulBackend] = None,
+    batch_size: int = 64,
+) -> float:
+    """Top-1 accuracy of the model's *inference* path on a backend."""
+    backend = backend if backend is not None else FloatBackend()
+    correct = 0
+    for start in range(0, len(x), batch_size):
+        xb = x[start : start + batch_size]
+        yb = y[start : start + batch_size]
+        ctx = InferenceContext(backend=backend)
+        logits = model.infer(xb, ctx)
+        correct += int((logits.argmax(axis=-1) == yb).sum())
+    return correct / len(x)
+
+
+def evaluate_float_forward(model: Module, x: np.ndarray, y: np.ndarray) -> float:
+    """Top-1 accuracy of the autograd forward path (training-path check)."""
+    logits = model(Tensor(x)).data
+    return F.accuracy(logits, y)

@@ -1,0 +1,163 @@
+"""Trainable stand-in networks for the accuracy experiments (Fig. 6(f)).
+
+Small-but-real models whose inference path routes every GEMM through a
+pluggable backend: four CNNs standing in for the paper's CNN benchmarks and
+two transformer classifiers standing in for the transformer benchmarks.
+Their *shapes* are toy, but the arithmetic path — conv-as-GEMM, attention
+score/context products, int8 quantization, analog error — is exactly the
+one the paper's full-size models would take.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import autograd as ag
+from repro.nn.autograd import Tensor
+from repro.nn.backend import InferenceContext
+from repro.nn.graph import Module, Sequential
+from repro.nn.layers import (
+    Conv2d,
+    Embedding,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    ResidualBlock,
+    TransformerBlock,
+)
+
+
+def build_cnn_small(n_classes: int = 4, channels: int = 1, seed: int = 0) -> Sequential:
+    """A LeNet-class CNN (stands in for AlexNet-family benchmarks)."""
+    return Sequential(
+        Conv2d(channels, 8, kernel_size=3, padding=1, seed=seed),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(8, 16, kernel_size=3, padding=1, seed=seed + 1),
+        ReLU(),
+        MaxPool2d(2),
+        Flatten(),
+        Linear(16 * 4 * 4, 32, seed=seed + 2),
+        ReLU(),
+        Linear(32, n_classes, seed=seed + 3),
+    )
+
+
+def build_cnn_deep(n_classes: int = 4, channels: int = 1, seed: int = 0) -> Sequential:
+    """A residual CNN (stands in for VGG16/ResNet18 benchmarks)."""
+    return Sequential(
+        Conv2d(channels, 8, kernel_size=3, padding=1, seed=seed),
+        ReLU(),
+        ResidualBlock(8, 8, seed=seed + 1),
+        MaxPool2d(2),
+        ResidualBlock(8, 16, seed=seed + 2),
+        MaxPool2d(2),
+        ResidualBlock(16, 32, seed=seed + 4),
+        GlobalAvgPool2d(),
+        Linear(32, n_classes, seed=seed + 5),
+    )
+
+
+def build_cnn_wide(n_classes: int = 4, channels: int = 1, seed: int = 0) -> Sequential:
+    """A wide shallow CNN (stands in for MobileNet-family benchmarks)."""
+    return Sequential(
+        Conv2d(channels, 24, kernel_size=5, padding=2, seed=seed),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(24, 24, kernel_size=3, padding=1, seed=seed + 1),
+        ReLU(),
+        MaxPool2d(2),
+        Flatten(),
+        Linear(24 * 4 * 4, n_classes, seed=seed + 2),
+    )
+
+
+def build_cnn_compact(n_classes: int = 4, channels: int = 1, seed: int = 0) -> Sequential:
+    """A compact CNN with 1x1 bottlenecks (stands in for DenseNet-family)."""
+    return Sequential(
+        Conv2d(channels, 12, kernel_size=3, padding=1, seed=seed),
+        ReLU(),
+        Conv2d(12, 6, kernel_size=1, seed=seed + 1),
+        ReLU(),
+        Conv2d(6, 12, kernel_size=3, padding=1, seed=seed + 2),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(12, 24, kernel_size=3, padding=1, seed=seed + 3),
+        ReLU(),
+        GlobalAvgPool2d(),
+        Linear(24, n_classes, seed=seed + 4),
+    )
+
+
+class TransformerClassifier(Module):
+    """Token classifier: embedding + learned positions + encoder blocks.
+
+    ``forward``/``infer`` take integer index arrays of shape (batch, time).
+    """
+
+    def __init__(
+        self,
+        vocab_size: int = 32,
+        max_length: int = 24,
+        dim: int = 32,
+        n_heads: int = 4,
+        n_blocks: int = 2,
+        ff_dim: int = 64,
+        n_classes: int = 4,
+        seed: int = 0,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        self.max_length = max_length
+        self.embedding = Embedding(vocab_size, dim, seed=seed)
+        self.positions = Tensor(
+            rng.normal(0.0, 0.02, (max_length, dim)), requires_grad=True
+        )
+        self.blocks = [
+            TransformerBlock(dim, n_heads, ff_dim, seed=seed + 100 * (i + 1))
+            for i in range(n_blocks)
+        ]
+        self.head = Linear(dim, n_classes, seed=seed + 999)
+
+    def forward(self, indices: np.ndarray) -> Tensor:  # type: ignore[override]
+        idx = self._check_indices(indices)
+        x = self.embedding.forward(idx)
+        x = ag.add(x, self.positions)  # broadcasts (t, d) over the batch
+        for block in self.blocks:
+            x = block(x)
+        pooled = ag.mean(x, axis=1)
+        return self.head(pooled)
+
+    def infer(self, indices: np.ndarray, ctx: InferenceContext) -> np.ndarray:
+        idx = self._check_indices(indices)
+        x = self.embedding.infer(idx, ctx) + self.positions.data[None]
+        for block in self.blocks:
+            x = block.infer(x, ctx)
+        return self.head.infer(x.mean(axis=1), ctx)
+
+    def _check_indices(self, indices) -> np.ndarray:
+        if isinstance(indices, Tensor):
+            indices = indices.data
+        idx = np.asarray(indices).astype(np.int64)
+        if idx.ndim != 2 or idx.shape[1] != self.max_length:
+            raise ValueError(
+                f"expected (batch, {self.max_length}) index array, got {idx.shape}"
+            )
+        return idx
+
+
+def build_transformer_small(n_classes: int = 4, vocab_size: int = 32, seed: int = 0):
+    """2-block encoder (stands in for MobileBERT/QDQBERT benchmarks)."""
+    return TransformerClassifier(
+        vocab_size=vocab_size, n_blocks=2, dim=32, n_heads=4, ff_dim=64,
+        n_classes=n_classes, seed=seed,
+    )
+
+
+def build_transformer_tiny(n_classes: int = 4, vocab_size: int = 32, seed: int = 0):
+    """1-block encoder (stands in for ViT-style benchmarks)."""
+    return TransformerClassifier(
+        vocab_size=vocab_size, n_blocks=1, dim=24, n_heads=3, ff_dim=48,
+        n_classes=n_classes, seed=seed,
+    )

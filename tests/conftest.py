@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.analog.variation import VariationModel
+from repro.core.array import InChargeArray
+from repro.core.config import ArrayConfig
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def ideal_variation():
+    return VariationModel.ideal()
+
+
+@pytest.fixture
+def typical_variation():
+    return VariationModel.typical()
+
+
+@pytest.fixture
+def small_array_config():
+    """A 2-bit 4x8 array (the Fig. 2 didactic example, scaled)."""
+    return ArrayConfig(
+        rows=4,
+        cols=8,
+        input_bits=2,
+        weight_bits=2,
+        cb_cols=2,
+        row_group_sizes=(2, 2, 4),
+        row_driver_count=4,
+        tda_count=4,
+    )
+
+
+@pytest.fixture
+def ideal_array(ideal_variation):
+    return InChargeArray(variation=ideal_variation, seed=7)
+
+
+@pytest.fixture
+def typical_array(typical_variation):
+    return InChargeArray(variation=typical_variation, seed=7)

@@ -1,0 +1,101 @@
+"""Behavioral SAR ADC / capacitive DAC models."""
+
+import numpy as np
+import pytest
+
+from repro.analog.converters import CapacitiveDac, SarAdc, dac_energy_pj, sar_adc_energy_pj
+from repro.analog.metrics import integral_nonlinearity
+from repro.analog.variation import VariationModel
+
+
+class TestSarAdc:
+    def test_ideal_adc_is_exact_quantizer(self):
+        adc = SarAdc(bits=8, variation=VariationModel.ideal(), seed=0)
+        volts = np.array([0.0, 0.45, 0.89])
+        codes = adc.convert(volts)
+        expected = np.floor(volts / adc.lsb_volt).astype(int)
+        assert np.all(np.abs(codes - expected) <= 1)
+
+    def test_codes_span_full_range(self):
+        adc = SarAdc(bits=8, variation=VariationModel.ideal(), seed=0)
+        volts, codes = adc.transfer_curve(512)
+        assert codes.min() == 0
+        assert codes.max() == 255
+
+    def test_monotonic_when_ideal(self):
+        adc = SarAdc(bits=6, variation=VariationModel.ideal(), seed=0)
+        _, codes = adc.transfer_curve(256)
+        assert np.all(np.diff(codes) >= 0)
+
+    def test_mismatch_induces_bounded_inl(self):
+        adc = SarAdc(bits=8, seed=1)
+        volts, codes = adc.transfer_curve(2048)
+        # Reconstruct the code-edge transfer and check INL stays small.
+        inl = integral_nonlinearity(codes.astype(float), 1.0)
+        assert np.abs(inl).max() < 4.0
+
+    def test_clipping(self):
+        adc = SarAdc(bits=8, variation=VariationModel.ideal(), seed=0)
+        assert adc.convert(np.array([5.0]))[0] == 255
+        assert adc.convert(np.array([-1.0]))[0] == 0
+
+    def test_energy_anchor(self):
+        assert SarAdc(bits=8).energy_pj_per_conversion == pytest.approx(2.0)
+
+    def test_conversion_counter(self):
+        adc = SarAdc(bits=8, seed=0)
+        adc.convert(np.zeros(7))
+        assert adc.conversion_count == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SarAdc(bits=0)
+        with pytest.raises(ValueError):
+            SarAdc(bits=8, full_scale_volt=0.0)
+
+
+class TestCapacitiveDac:
+    def test_ideal_dac_is_linear(self):
+        dac = CapacitiveDac(bits=8, variation=VariationModel.ideal(), seed=0)
+        codes = np.arange(256)
+        volts = dac.convert(codes)
+        assert np.allclose(volts, 0.9 * codes / 256.0, atol=1e-12)
+
+    def test_monotonic_under_mismatch(self):
+        dac = CapacitiveDac(bits=8, variation=VariationModel(
+            cap_mismatch_sigma=0.01,
+            charge_injection_sigma_volt=0.0,
+            enable_ktc_noise=False,
+        ), seed=3)
+        volts = dac.convert(np.arange(256))
+        assert np.all(np.diff(volts) > -0.9 / 256)
+
+    def test_code_range_checked(self):
+        dac = CapacitiveDac(bits=4, seed=0)
+        with pytest.raises(ValueError):
+            dac.convert(np.array([16]))
+
+    def test_energy_scales_with_bits(self):
+        assert (
+            CapacitiveDac(bits=8).energy_pj_per_conversion
+            > CapacitiveDac(bits=4).energy_pj_per_conversion
+        )
+
+    def test_roundtrip_through_adc(self):
+        """DAC -> ADC round-trip recovers the code within 1 LSB (ideal)."""
+        dac = CapacitiveDac(bits=8, variation=VariationModel.ideal(), seed=0)
+        adc = SarAdc(bits=8, variation=VariationModel.ideal(), seed=0)
+        codes = np.arange(0, 256, 5)
+        recovered = adc.convert(dac.convert(codes))
+        assert np.all(np.abs(recovered - codes) <= 1)
+
+
+class TestCostFormulas:
+    def test_sar_energy_walden_scaling(self):
+        assert sar_adc_energy_pj(10) == pytest.approx(4 * sar_adc_energy_pj(8))
+
+    def test_rate_penalty(self):
+        assert sar_adc_energy_pj(8, 5.12e9) > sar_adc_energy_pj(8, 1.28e9)
+
+    def test_dac_anchor(self):
+        assert dac_energy_pj(8) == pytest.approx(0.5)

@@ -1,0 +1,51 @@
+"""Monte-Carlo harness: reproducibility, independence, statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analog.montecarlo import run_monte_carlo
+
+
+class TestRunMonteCarlo:
+    def test_reproducible_with_same_seed(self):
+        trial = lambda rng: float(rng.normal())
+        a = run_monte_carlo(trial, 50, seed=3)
+        b = run_monte_carlo(trial, 50, seed=3)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_different_seeds_differ(self):
+        trial = lambda rng: float(rng.normal())
+        a = run_monte_carlo(trial, 50, seed=3)
+        b = run_monte_carlo(trial, 50, seed=4)
+        assert not np.array_equal(a.samples, b.samples)
+
+    def test_trials_get_independent_streams(self):
+        # If every trial saw the same stream, all samples would be equal.
+        trial = lambda rng: float(rng.normal())
+        result = run_monte_carlo(trial, 20, seed=0)
+        assert len(np.unique(result.samples)) == 20
+
+    def test_statistics(self):
+        trial = lambda rng: float(rng.normal(5.0, 2.0))
+        result = run_monte_carlo(trial, 4000, seed=1)
+        assert result.mean == pytest.approx(5.0, abs=0.15)
+        assert result.std == pytest.approx(2.0, rel=0.1)
+        assert result.three_sigma == pytest.approx(3 * result.std)
+        assert result.n == 4000
+        assert result.min <= result.mean <= result.max
+
+    def test_offsets_are_centred(self):
+        trial = lambda rng: float(rng.normal(7.0))
+        result = run_monte_carlo(trial, 100, seed=2)
+        assert abs(result.offsets().mean()) < 1e-12
+
+    def test_histogram_counts_sum_to_n(self):
+        trial = lambda rng: float(rng.normal())
+        result = run_monte_carlo(trial, 128, seed=5)
+        counts, edges = result.histogram(bins=10)
+        assert counts.sum() == 128
+        assert len(edges) == 11
+
+    def test_rejects_nonpositive_samples(self):
+        with pytest.raises(ValueError):
+            run_monte_carlo(lambda rng: 0.0, 0)

@@ -1,0 +1,90 @@
+"""Baseline models: converts/MAC economics and calibrated orderings."""
+
+import pytest
+
+from repro.baselines import (
+    ConversionCost,
+    adc_conversions_per_mac,
+    dac_energy_pj,
+    isaac_spec,
+    raella_spec,
+    sar_adc_energy_pj,
+    timely_spec,
+)
+from repro.baselines import isaac as isaac_mod
+
+
+class TestConversionEconomics:
+    def test_isaac_converts_per_mac(self):
+        # Section II-C arithmetic: (8 input x 4 weight slices) / 128 rows.
+        assert adc_conversions_per_mac(128, 8, 4) == pytest.approx(0.25)
+
+    def test_yoco_converts_per_mac(self):
+        # One TDC conversion per 1024-row column: 1/1024.
+        assert adc_conversions_per_mac(1024, 1, 1) == pytest.approx(1 / 1024)
+
+    def test_adc_energy_doubles_per_bit(self):
+        assert sar_adc_energy_pj(9) / sar_adc_energy_pj(8) == pytest.approx(2.0)
+
+    def test_adc_anchor(self):
+        assert sar_adc_energy_pj(8) == pytest.approx(2.0)
+
+    def test_dac_energy_scale(self):
+        assert dac_energy_pj(8) == pytest.approx(0.5)
+        assert dac_energy_pj(1) < 0.01
+
+    def test_conversion_cost_dataclass(self):
+        isaac_cost = ConversionCost("isaac", 8, 4, 128, 8)
+        assert isaac_cost.converts_per_mac == pytest.approx(0.25)
+        assert isaac_cost.adc_energy_per_mac_pj == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            adc_conversions_per_mac(0, 1, 1)
+        with pytest.raises(ValueError):
+            sar_adc_energy_pj(0)
+        with pytest.raises(ValueError):
+            dac_energy_pj(20)
+
+
+class TestIsaacModel:
+    def test_adc_dominates_unit_energy(self):
+        # The paper's motivating fact: ~85 % of ISAAC's power is ADCs.
+        adc = isaac_mod.CONVERSIONS_PER_VMM * isaac_mod.ADC_PJ_PER_CONVERSION
+        assert adc / isaac_mod.unit_vmm_energy_pj() > 0.80
+
+    def test_unit_latency_is_adc_paced(self):
+        assert isaac_mod.unit_vmm_latency_ns() == pytest.approx(800.0)
+
+    def test_spec_consistency(self):
+        spec = isaac_spec()
+        assert spec.unit_input_dim == 128
+        assert spec.unit_output_dim == 32
+        assert not spec.power_gating
+
+
+class TestPeakOrderings:
+    """Circuit-level orderings the Fig. 8 calibration rests on."""
+
+    def test_energy_efficiency_ordering(self):
+        from repro.arch import yoco_spec
+
+        yoco = yoco_spec().peak_tops_per_watt
+        isaac = isaac_spec().peak_tops_per_watt
+        raella = raella_spec().peak_tops_per_watt
+        timely = timely_spec().peak_tops_per_watt
+        assert yoco > timely > raella > isaac
+
+    def test_isaac_is_weakest_per_mac(self):
+        isaac = isaac_spec()
+        per_mac = isaac.unit_vmm_energy_pj / isaac.macs_per_vmm
+        assert per_mac > 0.3  # ~0.5 pJ/MAC: the ADC tax
+
+    def test_all_reram_baselines_pay_for_dynamic_writes(self):
+        for spec in (isaac_spec(), raella_spec(), timely_spec()):
+            assert spec.dynamic_write_pj_per_bit == pytest.approx(2.0)
+            assert spec.dynamic_write_ns_per_row == pytest.approx(50.0)
+
+    def test_area_normalized_dies(self):
+        for spec in (isaac_spec(), raella_spec(), timely_spec()):
+            assert spec.area_mm2 == pytest.approx(111.2)

@@ -1,0 +1,53 @@
+"""CLI: every artifact subcommand renders its paper counterpart."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_artifacts(self):
+        parser = build_parser()
+        args = parser.parse_args(["table2"])
+        assert args.artifact == "table2"
+        assert not args.quick
+
+    def test_quick_and_seed_flags(self):
+        args = build_parser().parse_args(["fig6d", "--quick", "--seed", "7"])
+        assert args.quick and args.seed == 7
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestFastArtifacts:
+    @pytest.mark.parametrize(
+        "artifact,token",
+        [
+            ("table1", "Hybrid"),
+            ("table2", "123.8"),
+            ("fig1c", "This work"),
+            ("fig7", "ranges"),
+            ("fig9", "98.4"),
+            ("fig10", "geomean"),
+        ],
+    )
+    def test_renders_expected_content(self, capsys, artifact, token):
+        assert main([artifact]) == 0
+        out = capsys.readouterr().out
+        assert token in out
+
+    def test_fig8_renders_ten_models(self, capsys):
+        assert main(["fig8"]) == 0
+        out = capsys.readouterr().out
+        for model in ("alexnet", "vgg16", "llama3_7b", "gpt_large"):
+            assert model in out
+
+    def test_fig6a_renders_linearity(self, capsys):
+        assert main(["fig6a"]) == 0
+        assert "INL" in capsys.readouterr().out
+
+    def test_fig6d_quick(self, capsys):
+        assert main(["fig6d", "--quick"]) == 0
+        assert "Monte-Carlo" in capsys.readouterr().out

@@ -1,0 +1,47 @@
+"""Physical-constant sanity and the paper's derived anchors."""
+
+import math
+
+import pytest
+
+from repro import constants
+
+
+class TestResolutionAnchors:
+    def test_lsb_matches_paper(self):
+        # The paper quotes a 3.52 mV LSB; VDD/256 with VDD = 0.9 V.
+        assert constants.LSB_VOLT == pytest.approx(3.52e-3, rel=2e-3)
+
+    def test_row_groups_cover_all_columns(self):
+        assert sum(constants.ROW_GROUP_SIZES) == constants.ARRAY_COLS
+
+    def test_row_groups_are_binary_ratioed(self):
+        assert constants.ROW_GROUP_SIZES[0] == 1
+        for bit, size in enumerate(constants.ROW_GROUP_SIZES[1:]):
+            assert size == 1 << bit
+
+    def test_cb_share_counts_sum(self):
+        # 1 + 2 + ... + 128 = 255 participating capacitors per CB.
+        assert sum(constants.CB_SHARE_COUNTS) == 255
+
+    def test_ima_vmm_dimensions(self):
+        assert constants.IMA_INPUT_DIM == 1024
+        assert constants.IMA_OUTPUT_DIM == 256
+        assert constants.IMA_OPS_PER_VMM == 2 * 1024 * 256
+
+
+class TestKtcNoise:
+    def test_magnitude_at_row_capacitance(self):
+        # 512 fF of row capacitance -> ~90 uV of kT/C noise at 300 K.
+        sigma = constants.ktc_noise_sigma_volt(512e-15)
+        assert 50e-6 < sigma < 150e-6
+
+    def test_decreases_with_capacitance(self):
+        small = constants.ktc_noise_sigma_volt(2e-15)
+        large = constants.ktc_noise_sigma_volt(512e-15)
+        assert small > large
+        assert small / large == pytest.approx(math.sqrt(512 / 2))
+
+    def test_rejects_nonpositive_capacitance(self):
+        with pytest.raises(ValueError):
+            constants.ktc_noise_sigma_volt(0.0)

@@ -1,0 +1,101 @@
+"""Table II consistency: every derived roll-up must match the paper."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import ArrayConfig, ChipConfig, IMAConfig, TileConfig, paper_config
+
+
+class TestArrayConfig:
+    def test_mcc_array_energy_is_26_5_pj(self):
+        assert ArrayConfig().mcc_array_energy_pj == pytest.approx(26.5, rel=0.01)
+
+    def test_array_energy_is_29_6_pj(self):
+        assert ArrayConfig().energy_pj == pytest.approx(29.6, rel=0.01)
+
+    def test_mcc_array_area_is_26214_um2(self):
+        assert ArrayConfig().mcc_array_area_um2 == pytest.approx(26214, rel=0.001)
+
+    def test_array_area_is_26406_um2(self):
+        assert ArrayConfig().area_um2 == pytest.approx(26406, rel=0.001)
+
+    def test_geometry(self):
+        cfg = ArrayConfig()
+        assert cfg.n_cbs == 32
+        assert cfg.n_mccs == 128 * 256
+        assert cfg.cb_share_counts == (1, 2, 4, 8, 16, 32, 64, 128)
+
+    def test_rejects_mismatched_groups(self):
+        with pytest.raises(ValueError):
+            ArrayConfig(row_group_sizes=(1, 1, 2))
+
+    def test_rejects_ragged_cbs(self):
+        with pytest.raises(ValueError):
+            ArrayConfig(cb_cols=7)
+
+    def test_rejects_bad_activity(self):
+        with pytest.raises(ValueError):
+            ArrayConfig(activity=1.5)
+
+
+class TestIMAConfig:
+    def test_vmm_energy_matches_text(self):
+        # Text: ~4.235 nJ per 1024x256 VMM (Table II's 4325 is a typo).
+        assert IMAConfig().vmm_energy_pj == pytest.approx(4235.0, rel=0.001)
+
+    def test_vmm_latency_under_15ns(self):
+        cfg = IMAConfig()
+        assert cfg.vmm_latency_ns < 15.0
+        assert cfg.vmm_latency_ns == pytest.approx(14.8, abs=0.1)
+
+    def test_headline_energy_efficiency(self):
+        assert IMAConfig().energy_efficiency_tops_per_watt == pytest.approx(123.8, rel=0.002)
+
+    def test_headline_throughput(self):
+        assert IMAConfig().throughput_tops == pytest.approx(34.9, rel=0.005)
+
+    def test_area_is_3_45_mm2(self):
+        assert IMAConfig().area_um2 / 1e6 == pytest.approx(3.45, rel=0.005)
+
+    def test_vmm_dimensions(self):
+        cfg = IMAConfig()
+        assert cfg.input_dim == 1024
+        assert cfg.output_dim == 256
+        assert cfg.n_tdcs == 256
+        assert cfg.ops_per_vmm == 2 * 1024 * 256
+
+    def test_power_gated_grid_scales_costs(self):
+        full = IMAConfig()
+        half = dataclasses.replace(full, grid_rows=4)
+        assert half.input_dim == 512
+        assert half.vmm_energy_pj < full.vmm_energy_pj
+
+
+class TestTileAndChip:
+    def test_tile_area_near_27_8_mm2(self):
+        assert TileConfig().area_um2 / 1e6 == pytest.approx(27.8, rel=0.01)
+
+    def test_chip_area_near_111_2_mm2(self):
+        assert ChipConfig().area_um2 / 1e6 == pytest.approx(111.2, rel=0.01)
+
+    def test_edram_totals_160_kb(self):
+        assert TileConfig().edram_bytes == 160 * 1024
+
+    def test_hybrid_capacity_ratio(self):
+        # ReRAM clusters are 4x deeper than SRAM clusters (32 vs 8 bits).
+        tile = TileConfig()
+        assert tile.sima_weight_capacity_bytes == 4 * tile.dima_weight_capacity_bytes
+
+    def test_chip_sima_capacity_is_134mb(self):
+        # 4 tiles x 4 SIMAs x (1024x256 weights) x 32 contexts.
+        cap = ChipConfig().sima_weight_capacity_bytes
+        assert cap == 4 * 4 * 1024 * 256 * 32
+
+    def test_chip_counts(self):
+        cfg = ChipConfig()
+        assert cfg.n_imas == 32
+        assert cfg.peak_throughput_tops == pytest.approx(32 * 34.9, rel=0.005)
+
+    def test_paper_config_is_default(self):
+        assert paper_config() == ChipConfig()

@@ -1,0 +1,71 @@
+"""CACTI-lite: anchor fidelity and scaling trends."""
+
+import pytest
+
+from repro.energy.cacti import CactiLite, MemoryTechnology, log2_int
+
+
+class TestSramModel:
+    def test_anchor_point_matches_table2(self):
+        # 4 KB buffer: 2.9 pJ per 256-bit access, 0.112 ns, 4 656 um2.
+        spec = CactiLite().sram(4 * 1024)
+        assert spec.access_energy_pj(256) == pytest.approx(2.9, rel=1e-6)
+        assert spec.latency_ns == pytest.approx(0.112, rel=1e-6)
+        assert spec.area_um2 == pytest.approx(4656.0, rel=1e-6)
+
+    def test_energy_grows_sublinearly_with_capacity(self):
+        small = CactiLite().sram(4 * 1024)
+        big = CactiLite().sram(64 * 1024)
+        ratio = big.read_energy_pj_per_bit / small.read_energy_pj_per_bit
+        assert 1.0 < ratio < 16.0
+
+    def test_write_costs_more_than_read(self):
+        spec = CactiLite().sram(8 * 1024)
+        assert spec.write_energy_pj_per_bit > spec.read_energy_pj_per_bit
+
+    def test_transfer_latency_includes_streaming(self):
+        spec = CactiLite().sram(4 * 1024)
+        assert spec.transfer_latency_ns(4096) > spec.latency_ns
+
+
+class TestEdramModel:
+    def test_anchor_point_matches_table2(self):
+        # 160 KB eDRAM: 0.1 pJ/bit, 128 GB/s, 0.2 mm2.
+        spec = CactiLite().edram(160 * 1024)
+        assert spec.read_energy_pj_per_bit == pytest.approx(0.1, rel=1e-6)
+        assert spec.bandwidth_gbps == pytest.approx(128.0)
+        assert spec.area_um2 == pytest.approx(0.2e6, rel=1e-6)
+
+    def test_technology_tag(self):
+        assert CactiLite().edram(1024).technology is MemoryTechnology.EDRAM
+
+
+class TestReramModel:
+    def test_write_much_costlier_than_read(self):
+        spec = CactiLite().reram_array(64 * 1024)
+        assert spec.write_energy_pj_per_bit / spec.read_energy_pj_per_bit > 100
+
+    def test_denser_than_sram(self):
+        sram = CactiLite().sram(64 * 1024)
+        reram = CactiLite().reram_array(64 * 1024)
+        assert reram.area_um2 < sram.area_um2
+
+
+class TestValidation:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            CactiLite().sram(0)
+
+    def test_rejects_offchip_scale(self):
+        with pytest.raises(ValueError):
+            CactiLite().edram(1 << 40)
+
+    def test_negative_bits_rejected(self):
+        spec = CactiLite().sram(1024)
+        with pytest.raises(ValueError):
+            spec.access_energy_pj(-1)
+
+    def test_log2_int(self):
+        assert log2_int(1024) == 10
+        with pytest.raises(ValueError):
+            log2_int(1000)

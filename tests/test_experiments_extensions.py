@@ -1,0 +1,82 @@
+"""Extension experiments: corners, noise robustness, endurance."""
+
+import pytest
+
+from repro import constants
+from repro.analog.variation import Corner
+from repro.experiments.extensions import (
+    corner_sweep,
+    endurance_analysis,
+    format_corner_sweep,
+    format_endurance,
+    format_noise_robustness,
+    noise_robustness_sweep,
+)
+
+
+class TestCornerSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return corner_sweep(n_samples=60, seed=0)
+
+    def test_covers_all_corners_and_temps(self, sweep):
+        pairs = {(r.corner, r.temperature_c) for r in sweep.results}
+        assert len(pairs) == 6
+        assert (Corner.FF, 85.0) in pairs
+
+    def test_ratiometric_cancellation(self, sweep):
+        """Global corner shifts cancel in charge sharing: tiny mean shift."""
+        assert sweep.worst_mean_shift_mv < 0.2
+
+    def test_sigma_stays_sub_lsb_across_corners(self, sweep):
+        assert sweep.worst_three_sigma_mv < constants.LSB_VOLT * 1e3
+
+    def test_format(self, sweep):
+        text = format_corner_sweep(sweep)
+        assert "ratiometric" in text
+
+
+class TestNoiseRobustness:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return noise_robustness_sweep(scales=(1.0, 8.0, 16.0), seed=0)
+
+    def test_baseline_is_trained(self, sweep):
+        assert sweep.baseline_accuracy > 0.8
+
+    def test_calibrated_point_is_benign(self, sweep):
+        one_x = next(p for p in sweep.points if p.noise_scale == 1.0)
+        assert one_x.loss_percent < 2.0
+
+    def test_degradation_grows_with_noise(self, sweep):
+        losses = [p.loss_percent for p in sweep.points]
+        assert losses[-1] >= losses[0]
+
+    def test_cliff_detection(self, sweep):
+        cliff = sweep.cliff_scale(tolerance_percent=0.0001)
+        assert cliff is None or cliff >= 1.0
+
+    def test_format(self, sweep):
+        assert "cliff" in format_noise_robustness(sweep)
+
+
+class TestEndurance:
+    def test_transformer_wears_out_reram_fast(self):
+        res = endurance_analysis("qdqbert", inferences_per_second=100.0)
+        assert res.reram_lifetime_days < 10
+        assert res.energy_ratio > 1000
+
+    def test_lifetime_scales_inversely_with_rate(self):
+        slow = endurance_analysis("qdqbert", inferences_per_second=1.0)
+        fast = endurance_analysis("qdqbert", inferences_per_second=100.0)
+        assert slow.reram_lifetime_days == pytest.approx(
+            100 * fast.reram_lifetime_days
+        )
+
+    def test_cnn_rejected(self):
+        with pytest.raises(ValueError):
+            endurance_analysis("resnet18")
+
+    def test_format(self):
+        text = format_endurance(endurance_analysis("mobilebert"))
+        assert "hybrid" in text

@@ -1,0 +1,147 @@
+"""Fast experiment drivers: Tables I/II, Figs. 1(c), 7, 9, 10."""
+
+import pytest
+
+from repro.experiments import (
+    format_fig10,
+    format_fig1c,
+    format_fig7,
+    format_fig9,
+    format_table1,
+    format_table2,
+    run_fig10,
+    run_fig1c,
+    run_fig7,
+    run_fig9a,
+    run_fig9b,
+    run_table1,
+    run_table2,
+)
+from repro.experiments.data import FIG10_PAPER_GEOMEAN
+
+
+class TestTable1:
+    def test_six_rows_yoco_last(self):
+        rows = run_table1()
+        assert len(rows) == 6
+        assert rows[-1].architecture == "Our (YOCO)"
+
+    def test_yoco_is_the_only_hybrid_no_slice_design(self):
+        rows = run_table1()
+        yoco = rows[-1]
+        assert not yoco.slice_weight and not yoco.slice_input
+        assert yoco.memory_type == "Hybrid"
+        assert all(r.memory_type != "Hybrid" for r in rows[:-1])
+
+    def test_format(self):
+        text = format_table1()
+        assert "ISAAC" in text and "Hybrid" in text
+
+
+class TestTable2:
+    def test_headline_numbers(self):
+        res = run_table2()
+        assert res.efficiency_tops_per_watt == pytest.approx(123.8, rel=0.002)
+        assert res.throughput_tops == pytest.approx(34.9, rel=0.005)
+        assert res.ima_vmm_energy_pj == pytest.approx(4235.0, rel=0.001)
+        assert res.ima_vmm_latency_ns < 15.0
+
+    def test_areas(self):
+        res = run_table2()
+        assert res.ima_area_mm2 == pytest.approx(3.45, rel=0.005)
+        assert res.tile_area_mm2 == pytest.approx(27.8, rel=0.01)
+        assert res.chip_area_mm2 == pytest.approx(111.2, rel=0.01)
+
+    def test_format_contains_key_rows(self):
+        text = format_table2()
+        for token in ("MCC array", "Time Acc.", "TDC", "eDRAM", "Hyper Link", "123.8"):
+            assert token in text
+
+
+class TestFig1c:
+    def test_yoco_is_the_frontier(self):
+        res = run_fig1c()
+        assert res.frontier_point().kind == "this work"
+
+    def test_point_count(self):
+        # 8 prior circuits + YOCO.
+        assert len(run_fig1c().points) == 9
+
+    def test_format(self):
+        assert "This work" in format_fig1c()
+
+
+class TestFig7:
+    def test_ranges_match_paper(self):
+        res = run_fig7()
+        lo, hi = res.ee_range
+        assert lo == pytest.approx(1.5, rel=0.05)
+        assert hi == pytest.approx(40.0, rel=0.05)
+        lo_t, hi_t = res.throughput_range
+        assert lo_t == pytest.approx(12.0, rel=0.05)
+        assert hi_t == pytest.approx(1164.0, rel=0.05)
+        lo_f, hi_f = res.fom_range
+        assert 30.0 < lo_f < 60.0  # paper: 36x
+        assert 10000.0 < hi_f < 16000.0  # paper: 14000x
+
+    def test_yoco_beats_every_prior_on_both_axes(self):
+        res = run_fig7()
+        for comp in res.comparisons:
+            assert comp.ee_ratio > 1.0
+            assert comp.throughput_ratio > 1.0
+
+    def test_format(self):
+        text = format_fig7()
+        assert "123.8" in text and "ranges" in text
+
+
+class TestFig9:
+    def test_dac_ratios(self):
+        res = run_fig9a()
+        assert res.area_ratio == pytest.approx(352.0, rel=0.01)
+        assert res.energy_ratio == pytest.approx(9.0, rel=0.01)
+        assert res.latency_ratio == pytest.approx(1.6, rel=0.01)
+
+    def test_dac_energy_consistent_with_array_model(self):
+        res = run_fig9a()
+        # Our array's own row-conversion energy sits near the data table's.
+        assert res.yoco_row_conversion_energy_pj == pytest.approx(
+            res.comparison.yoco_energy_pj, rel=0.05
+        )
+
+    def test_adc_savings(self):
+        res = run_fig9b()
+        assert res.saving_vs_serial_percent == pytest.approx(98.4, abs=0.1)
+        assert res.saving_vs_weighted_percent == pytest.approx(87.5, abs=0.1)
+        assert res.delay_cost_vs_weighted == 0
+
+    def test_serial_delay_saving(self):
+        res = run_fig9b()
+        assert res.delay_saving_vs_serial_percent == pytest.approx(98.4, abs=0.1)
+
+    def test_format(self):
+        text = format_fig9()
+        assert "352" in text and "98.4" in text
+
+
+class TestFig10:
+    def test_speedups_within_paper_band(self):
+        res = run_fig10()
+        assert 1.5 <= res.min_speedup
+        assert res.max_speedup <= 4.0
+        assert res.geomean_speedup == pytest.approx(FIG10_PAPER_GEOMEAN, rel=0.2)
+
+    def test_all_five_models_present(self):
+        res = run_fig10()
+        assert set(res.results) == {
+            "gpt_large", "mobilebert", "qdqbert", "vit", "llama3_7b"
+        }
+
+    def test_mobilebert_best(self):
+        res = run_fig10()
+        best = max(res.results.values(), key=lambda r: r.speedup)
+        assert best.model == "mobilebert"
+
+    def test_format(self):
+        text = format_fig10(run_fig10())
+        assert "geomean" in text

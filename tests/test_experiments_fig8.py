@@ -1,0 +1,63 @@
+"""Fig. 8: the four-accelerator, ten-model architecture sweep."""
+
+import pytest
+
+from repro.experiments.data import FIG8_PAPER_GEOMEANS
+from repro.experiments.fig8 import format_fig8, run_fig8
+from repro.models import BENCHMARK_MODELS
+
+
+@pytest.fixture(scope="module")
+def fig8_result():
+    return run_fig8()
+
+
+class TestGeomeans:
+    """The paper's summary statistics, within a reproduction tolerance."""
+
+    @pytest.mark.parametrize("baseline", ["isaac", "raella", "timely"])
+    def test_ee_geomean_tracks_paper(self, fig8_result, baseline):
+        got = fig8_result.geomean_ee(baseline)
+        want = FIG8_PAPER_GEOMEANS[baseline]["ee"]
+        assert got == pytest.approx(want, rel=0.15)
+
+    @pytest.mark.parametrize("baseline", ["isaac", "raella", "timely"])
+    def test_tput_geomean_tracks_paper(self, fig8_result, baseline):
+        got = fig8_result.geomean_tput(baseline)
+        want = FIG8_PAPER_GEOMEANS[baseline]["throughput"]
+        assert got == pytest.approx(want, rel=0.15)
+
+
+class TestShape:
+    def test_all_ten_models_present(self, fig8_result):
+        assert {m.model for m in fig8_result.per_model} == set(BENCHMARK_MODELS)
+
+    def test_yoco_wins_everywhere(self, fig8_result):
+        """The paper's headline shape: YOCO ahead on every model/axis."""
+        for m in fig8_result.per_model:
+            for baseline in ("isaac", "raella", "timely"):
+                assert m.ee_ratio[baseline] > 1.0, (m.model, baseline)
+                assert m.tput_ratio[baseline] > 1.0, (m.model, baseline)
+
+    def test_baseline_ordering_matches_paper(self, fig8_result):
+        """ISAAC is the weakest baseline; TIMELY the strongest (EE)."""
+        ee_isaac = fig8_result.geomean_ee("isaac")
+        ee_raella = fig8_result.geomean_ee("raella")
+        ee_timely = fig8_result.geomean_ee("timely")
+        assert ee_isaac > ee_raella > ee_timely
+        tput_isaac = fig8_result.geomean_tput("isaac")
+        tput_raella = fig8_result.geomean_tput("raella")
+        tput_timely = fig8_result.geomean_tput("timely")
+        assert tput_isaac > tput_raella > tput_timely
+
+    def test_transformers_benefit_from_hybrid_memory(self, fig8_result):
+        """Dynamic-write costs make ReRAM baselines worse on attention-
+        heavy models: mobilebert's EE ratio vs ISAAC should exceed the
+        all-static alexnet... no — the effect shows against RAELLA/TIMELY
+        where compute energy is closer: check vs raella."""
+        ratios = {m.model: m.ee_ratio["raella"] for m in fig8_result.per_model}
+        assert ratios["mobilebert"] > ratios["alexnet"]
+
+    def test_format_renders_geomeans(self, fig8_result):
+        text = format_fig8(fig8_result)
+        assert "geomean" in text and "paper geomeans" in text

@@ -1,0 +1,28 @@
+"""Pipeline sequence-length sweep (Fig. 10 extension)."""
+
+import pytest
+
+from repro.experiments.extensions import format_seqlen_sweep, pipeline_seqlen_sweep
+
+
+class TestSeqLenSweep:
+    @pytest.fixture(scope="class")
+    def gpt(self):
+        return pipeline_seqlen_sweep("gpt_large", seq_lens=(64, 512, 2048))
+
+    def test_all_points_in_pipeline_band(self, gpt):
+        for point in gpt.points:
+            assert 1.0 < point.speedup <= 5.0
+
+    def test_bottleneck_shifts_to_score_at_long_context(self, gpt):
+        first, last = gpt.points[0], gpt.points[-1]
+        assert first.bottleneck_stage == "qkv"
+        assert last.bottleneck_stage == "score"
+
+    def test_compact_encoder_speedup_degrades_with_context(self):
+        sweep = pipeline_seqlen_sweep("mobilebert", seq_lens=(128, 1024))
+        assert sweep.points[0].speedup > sweep.points[1].speedup
+
+    def test_format(self, gpt):
+        text = format_seqlen_sweep(gpt)
+        assert "bottleneck" in text and "gpt_large" in text

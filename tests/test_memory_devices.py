@@ -1,0 +1,160 @@
+"""Memory devices: SRAM/ReRAM clusters, eDRAM, I/O buffers."""
+
+import numpy as np
+import pytest
+
+from repro.memory import (
+    Edram,
+    EnduranceExceededError,
+    IOBuffer,
+    MemoryDeviceError,
+    ReramCluster,
+    SramCluster,
+)
+from repro.memory.sram import pack_weight_bits
+
+
+class TestBitStoreBasics:
+    def test_read_write_roundtrip(self):
+        cluster = SramCluster(8)
+        cluster.write_bit(3, 1)
+        assert cluster.read_bit(3) == 1
+        assert cluster.read_bit(0) == 0
+
+    def test_bounds_checked(self):
+        cluster = SramCluster(8)
+        with pytest.raises(MemoryDeviceError):
+            cluster.read_bit(8)
+        with pytest.raises(MemoryDeviceError):
+            cluster.write_bit(-1, 0)
+
+    def test_only_bits_accepted(self):
+        cluster = SramCluster(8)
+        with pytest.raises(MemoryDeviceError):
+            cluster.write_bit(0, 2)
+
+    def test_write_all_and_counters(self):
+        cluster = SramCluster(8)
+        cluster.write_all(np.ones(8, dtype=np.uint8))
+        assert cluster.write_count == 8
+        assert np.all(cluster.read_all() == 1)
+        assert cluster.read_count == 8
+
+
+class TestSramCluster:
+    def test_mux_selection_drives_active_bit(self):
+        cluster = SramCluster(8)
+        cluster.write_bit(5, 1)
+        cluster.select(5)
+        assert cluster.active_bit() == 1
+        cluster.select(0)
+        assert cluster.active_bit() == 0
+
+    def test_pack_weight_bits(self):
+        cluster = SramCluster(8)
+        pack_weight_bits(cluster, weight=0b1011, bits=4)
+        assert [cluster.read_bit(i) for i in range(4)] == [1, 1, 0, 1]
+
+    def test_pack_rejects_oversized_weight(self):
+        with pytest.raises(MemoryDeviceError):
+            pack_weight_bits(SramCluster(8), weight=300, bits=8)
+
+    def test_energy_accounting(self):
+        cluster = SramCluster(8)
+        cluster.write_bit(0, 1)
+        cluster.read_bit(0)
+        assert cluster.total_write_energy_pj() == pytest.approx(cluster.WRITE_ENERGY_PJ)
+        assert cluster.total_read_energy_pj() == pytest.approx(cluster.READ_ENERGY_PJ)
+
+
+class TestReramCluster:
+    def test_density_advantage_over_sram(self):
+        assert ReramCluster(32).area_um2 < SramCluster(32).area_um2
+
+    def test_write_energy_dominates(self):
+        # The hybrid-memory motivation in one assertion.
+        assert ReramCluster.WRITE_ENERGY_PJ / SramCluster.WRITE_ENERGY_PJ > 1000
+
+    def test_endurance_enforced(self):
+        cluster = ReramCluster(4, endurance=3)
+        for _ in range(3):
+            cluster.write_bit(0, 1)
+        with pytest.raises(EnduranceExceededError):
+            cluster.write_bit(0, 0)
+
+    def test_wear_fraction(self):
+        cluster = ReramCluster(4, endurance=10)
+        cluster.write_bit(1, 1)
+        cluster.write_bit(1, 0)
+        assert cluster.wear_fraction() == pytest.approx(0.2)
+        assert cluster.cell_write_count(1) == 2
+
+    def test_conductance_reflects_stored_bit(self):
+        cluster = ReramCluster(4)
+        cluster.write_bit(0, 1)
+        on = cluster.conductance_siemens(0)
+        off = cluster.conductance_siemens(1)
+        assert on / off == pytest.approx(20.0)  # 1 kOhm vs 20 kOhm
+
+
+class TestEdram:
+    def test_allocation_tracking(self):
+        edram = Edram(capacity_bytes=1024)
+        edram.allocate(512)
+        assert edram.free_bytes == 512
+        edram.release(512)
+        assert edram.used_bytes == 0
+
+    def test_overflow_raises(self):
+        edram = Edram(capacity_bytes=1024)
+        with pytest.raises(MemoryDeviceError):
+            edram.allocate(2048)
+
+    def test_over_release_raises(self):
+        edram = Edram(capacity_bytes=1024)
+        with pytest.raises(MemoryDeviceError):
+            edram.release(1)
+
+    def test_access_energy_accumulates(self):
+        edram = Edram(capacity_bytes=160 * 1024)
+        energy = edram.read_energy_pj(1024)
+        assert energy > 0
+        assert edram.total_energy_pj == pytest.approx(energy)
+
+    def test_refresh_energy_scales_with_time(self):
+        edram = Edram(capacity_bytes=160 * 1024)
+        short = edram.refresh_energy_pj(1e3)
+        long = edram.refresh_energy_pj(1e6)
+        assert long > short
+
+
+class TestIOBuffer:
+    def test_hit_after_fill(self):
+        buf = IOBuffer(capacity_bytes=2 * 1024)
+        assert buf.touch("line0") is False
+        assert buf.touch("line0") is True
+        assert buf.hit_rate() == pytest.approx(0.5)
+
+    def test_fifo_eviction(self):
+        buf = IOBuffer(capacity_bytes=2 * 1024)  # 64 lines
+        for i in range(buf.capacity_lines + 1):
+            buf.touch(f"line{i}")
+        assert buf.touch("line0") is False  # evicted
+
+    def test_miss_costs_more_energy_than_hit(self):
+        buf = IOBuffer(capacity_bytes=2 * 1024)
+        buf.touch("a")
+        miss_energy = buf.energy_pj
+        buf.touch("a")
+        hit_energy = buf.energy_pj - miss_energy
+        assert miss_energy > hit_energy
+
+    def test_capacity_must_be_whole_lines(self):
+        with pytest.raises(MemoryDeviceError):
+            IOBuffer(capacity_bytes=33)
+
+    def test_reset_stats(self):
+        buf = IOBuffer()
+        buf.touch("x")
+        buf.reset_stats()
+        assert buf.hits == 0 and buf.misses == 0 and buf.energy_pj == 0.0

@@ -1,0 +1,135 @@
+"""Model zoo: layer accounting must match the published architectures."""
+
+import pytest
+
+from repro.models import (
+    BENCHMARK_MODELS,
+    CNN_MODELS,
+    TRANSFORMER_MODELS,
+    GemmShape,
+    LayerKind,
+    LayerSpec,
+    ModelKind,
+    WorkloadSpec,
+    all_workloads,
+    get_workload,
+)
+from repro.models.workload import conv_layer, fc_layer, transformer_block_layers
+
+
+class TestRegistry:
+    def test_ten_benchmarks(self):
+        assert len(BENCHMARK_MODELS) == 10
+        assert len(CNN_MODELS) == 5
+        assert len(TRANSFORMER_MODELS) == 5
+
+    def test_all_workloads_build(self):
+        for workload in all_workloads():
+            assert workload.total_macs > 0
+            assert len(workload.layers) > 0
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("resnet152")
+
+    def test_kinds(self):
+        for name in CNN_MODELS:
+            assert get_workload(name).kind is ModelKind.CNN
+        for name in TRANSFORMER_MODELS:
+            assert get_workload(name).kind is ModelKind.TRANSFORMER
+
+
+class TestPublishedFigures:
+    """Totals must sit near the well-known published numbers."""
+
+    @pytest.mark.parametrize(
+        "name,gmacs,params_m",
+        [
+            ("alexnet", 0.71, 61.0),
+            ("vgg16", 15.5, 138.0),
+            ("resnet18", 1.8, 11.7),
+            ("densenet201", 4.3, 20.0),
+        ],
+    )
+    def test_cnn_totals(self, name, gmacs, params_m):
+        w = get_workload(name)
+        assert w.total_macs / 1e9 == pytest.approx(gmacs, rel=0.1)
+        assert w.total_weight_bytes / 1e6 == pytest.approx(params_m, rel=0.1)
+
+    def test_mobilenet_is_small(self):
+        w = get_workload("mobilenetv3")
+        assert w.total_macs / 1e9 < 0.3
+        assert w.total_weight_bytes / 1e6 < 8.0
+
+    def test_qdqbert_matches_bert_base(self):
+        w = get_workload("qdqbert")
+        # 12 x (4 d^2 + 2 d ff) at d=768, ff=3072 -> ~85 M params.
+        assert w.total_weight_bytes / 1e6 == pytest.approx(85.0, rel=0.05)
+
+    def test_llama_is_7b_class(self):
+        w = get_workload("llama3_7b")
+        assert 5.0e9 < w.total_weight_bytes < 7.5e9
+
+    def test_transformers_have_dynamic_attention(self):
+        for name in TRANSFORMER_MODELS:
+            w = get_workload(name)
+            assert w.attention_fraction > 0.0
+            dynamic = [l for l in w.layers if not l.static_weights]
+            assert dynamic, name
+            assert all(l.weight_bytes == 0 for l in dynamic)
+
+    def test_cnns_are_fully_static(self):
+        for name in CNN_MODELS:
+            assert get_workload(name).attention_fraction == 0.0
+
+    def test_mobilenet_has_depthwise_layers(self):
+        w = get_workload("mobilenetv3")
+        dw = w.layers_of_kind(LayerKind.DEPTHWISE_CONV)
+        assert len(dw) == 15
+        assert all(layer.repeat > 1 for layer in dw)
+
+
+class TestSpecHelpers:
+    def test_conv_layer_im2col_view(self):
+        layer = conv_layer("c", 64, 128, 3, 28)
+        assert layer.gemm == GemmShape(m=28 * 28, k=64 * 9, n=128)
+        assert layer.weight_bytes == 64 * 9 * 128
+
+    def test_depthwise_conv_repeat(self):
+        layer = conv_layer("dw", 32, 32, 3, 14, depthwise=True)
+        assert layer.repeat == 32
+        assert layer.macs == 14 * 14 * 9 * 32
+
+    def test_fc_layer(self):
+        layer = fc_layer("fc", 512, 1000)
+        assert layer.gemm.m == 1
+        assert layer.weight_bytes == 512 * 1000
+
+    def test_transformer_block_has_eight_gemms(self):
+        layers = transformer_block_layers("b", 128, 768, 12, 3072)
+        assert len(layers) == 8
+        kinds = {l.kind for l in layers}
+        assert LayerKind.ATTENTION_SCORE in kinds
+        assert LayerKind.ATTENTION_CONTEXT in kinds
+
+    def test_gqa_shrinks_kv_projections(self):
+        layers = transformer_block_layers("b", 128, 4096, 32, 11008, kv_dim=1024)
+        k_proj = next(l for l in layers if l.name.endswith("k_proj"))
+        q_proj = next(l for l in layers if l.name.endswith("q_proj"))
+        assert k_proj.gemm.n == 1024
+        assert q_proj.gemm.n == 4096
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GemmShape(0, 1, 1)
+        with pytest.raises(ValueError):
+            LayerSpec("", LayerKind.FC, GemmShape(1, 1, 1))
+        with pytest.raises(ValueError):
+            WorkloadSpec("w", ModelKind.CNN, layers=())
+        with pytest.raises(ValueError):
+            transformer_block_layers("b", 128, 770, 12, 3072)
+
+    def test_duplicate_layer_names_rejected(self):
+        layer = fc_layer("fc", 8, 8)
+        with pytest.raises(ValueError):
+            WorkloadSpec("w", ModelKind.CNN, layers=(layer, layer))

@@ -1,0 +1,123 @@
+"""Attention flows: all three formulations agree numerically."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.attention import (
+    flash_attention,
+    standard_attention,
+    yoco_incremental_attention,
+    yoco_incremental_attention_step,
+)
+
+
+def _random_qkv(rng, t=10, d=8):
+    return (rng.normal(size=(t, d)), rng.normal(size=(t, d)), rng.normal(size=(t, d)))
+
+
+class TestStandardAttention:
+    def test_output_rows_are_convex_combinations(self, rng):
+        q, k, v = _random_qkv(rng)
+        out = standard_attention(q, k, v)
+        assert out.shape == v.shape
+        assert out.min() >= v.min() - 1e-9
+        assert out.max() <= v.max() + 1e-9
+
+    def test_causal_first_row_is_v0(self, rng):
+        q, k, v = _random_qkv(rng)
+        out = standard_attention(q, k, v, causal=True)
+        assert np.allclose(out[0], v[0])
+
+    def test_shape_validation(self, rng):
+        q, k, v = _random_qkv(rng)
+        with pytest.raises(ValueError):
+            standard_attention(q[:, :4], k, v)
+        with pytest.raises(ValueError):
+            standard_attention(q, k[:5], v)
+
+
+class TestFlashAttention:
+    @pytest.mark.parametrize("block", [1, 3, 10, 100])
+    def test_matches_standard_for_any_block_size(self, rng, block):
+        q, k, v = _random_qkv(rng, t=17)
+        assert np.allclose(
+            flash_attention(q, k, v, block_size=block), standard_attention(q, k, v)
+        )
+
+    @pytest.mark.parametrize("block", [1, 4, 64])
+    def test_causal_matches_standard(self, rng, block):
+        q, k, v = _random_qkv(rng, t=13)
+        assert np.allclose(
+            flash_attention(q, k, v, block_size=block, causal=True),
+            standard_attention(q, k, v, causal=True),
+        )
+
+    def test_extreme_scores_stay_stable(self, rng):
+        q, k, v = _random_qkv(rng, t=6)
+        out = flash_attention(q * 50, k * 50, v, block_size=2)
+        assert np.isfinite(out).all()
+
+    def test_rejects_bad_block(self, rng):
+        q, k, v = _random_qkv(rng)
+        with pytest.raises(ValueError):
+            flash_attention(q, k, v, block_size=0)
+
+    @given(st.integers(2, 24), st.integers(1, 8), st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_equivalence_property(self, t, block, seed):
+        rng = np.random.default_rng(seed)
+        q, k, v = _random_qkv(rng, t=t, d=4)
+        assert np.allclose(
+            flash_attention(q, k, v, block_size=block),
+            standard_attention(q, k, v),
+            atol=1e-10,
+        )
+
+
+class TestYocoIncrementalFlow:
+    def test_causal_equivalence(self, rng):
+        q, k, v = _random_qkv(rng, t=12)
+        assert np.allclose(
+            yoco_incremental_attention(q, k, v, causal=True),
+            standard_attention(q, k, v, causal=True),
+        )
+
+    def test_bidirectional_equivalence(self, rng):
+        q, k, v = _random_qkv(rng, t=12)
+        assert np.allclose(
+            yoco_incremental_attention(q, k, v, causal=False),
+            standard_attention(q, k, v, causal=False),
+        )
+
+    def test_state_grows_token_by_token(self, rng):
+        q, k, v = _random_qkv(rng, t=5)
+        state = None
+        for i in range(5):
+            state = yoco_incremental_attention_step(state, q[i], k[i], v[i])
+            assert state.n_tokens == i + 1
+        assert state.keys.shape == (5, 8)
+
+    def test_prefix_outputs_are_final_outputs_causal(self, rng):
+        """In the causal flow, earlier tokens' outputs never change."""
+        q, k, v = _random_qkv(rng, t=8)
+        state = None
+        snapshots = []
+        for i in range(8):
+            state = yoco_incremental_attention_step(state, q[i], k[i], v[i], causal=True)
+            snapshots.append(state.output()[: i + 1].copy())
+        final = snapshots[-1]
+        for i, snap in enumerate(snapshots):
+            assert np.allclose(snap, final[: i + 1])
+
+    @given(st.integers(1, 16), st.booleans(), st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_equivalence_property(self, t, causal, seed):
+        rng = np.random.default_rng(seed)
+        q, k, v = _random_qkv(rng, t=t, d=4)
+        assert np.allclose(
+            yoco_incremental_attention(q, k, v, causal=causal),
+            standard_attention(q, k, v, causal=causal),
+            atol=1e-10,
+        )

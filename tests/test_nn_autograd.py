@@ -1,0 +1,148 @@
+"""Autograd engine: every op gradient-checked against finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.nn import autograd as ag
+from repro.nn.autograd import Tensor
+
+
+def numeric_grad(fn, x, eps=1e-6):
+    """Central finite-difference gradient of scalar fn at x."""
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    gflat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = fn()
+        flat[i] = orig - eps
+        down = fn()
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_gradients(build_loss, *tensors, atol=1e-5):
+    """Compare backprop gradients to finite differences for each tensor."""
+    loss = build_loss()
+    loss.backward()
+    for tensor in tensors:
+        expected = numeric_grad(lambda: build_loss().item(), tensor.data)
+        assert tensor.grad is not None
+        assert np.allclose(tensor.grad, expected, atol=atol), (
+            f"gradient mismatch: max diff "
+            f"{np.abs(tensor.grad - expected).max():.2e}"
+        )
+        tensor.zero_grad()
+
+
+class TestBasicOps:
+    def test_add_mul_chain(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        check_gradients(lambda: ag.sum_(ag.mul(ag.add(a, b), a)), a, b)
+
+    def test_broadcast_add_bias(self, rng):
+        x = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        bias = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        check_gradients(lambda: ag.sum_(ag.add(x, bias)), x, bias)
+
+    def test_matmul(self, rng):
+        a = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 5)), requires_grad=True)
+        check_gradients(lambda: ag.sum_(ag.matmul(a, b)), a, b)
+
+    def test_batched_matmul(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 4, 5)), requires_grad=True)
+        check_gradients(lambda: ag.sum_(ag.matmul(a, b)), a, b)
+
+    def test_reshape_transpose(self, rng):
+        a = Tensor(rng.normal(size=(2, 6)), requires_grad=True)
+        check_gradients(
+            lambda: ag.sum_(ag.transpose(ag.reshape(a, (3, 4)), (1, 0))), a
+        )
+
+    def test_mean(self, rng):
+        a = Tensor(rng.normal(size=(4, 4)), requires_grad=True)
+        check_gradients(lambda: ag.mean(ag.mul(a, a)), a)
+
+    def test_gradient_accumulates_across_uses(self, rng):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        loss = ag.sum_(ag.add(a, a))
+        loss.backward()
+        assert np.allclose(a.grad, 2.0)
+
+
+class TestNonlinearities:
+    def test_relu(self, rng):
+        a = Tensor(rng.normal(size=(4, 4)) + 0.1, requires_grad=True)
+        check_gradients(lambda: ag.sum_(ag.relu(a)), a)
+
+    def test_gelu(self, rng):
+        a = Tensor(rng.normal(size=(3, 3)), requires_grad=True)
+        check_gradients(lambda: ag.sum_(ag.mul(ag.gelu(a), a)), a)
+
+    def test_softmax(self, rng):
+        a = Tensor(rng.normal(size=(2, 5)), requires_grad=True)
+        w = Tensor(rng.normal(size=(2, 5)))
+        check_gradients(lambda: ag.sum_(ag.mul(ag.softmax(a), w)), a)
+
+    def test_layer_norm(self, rng):
+        a = Tensor(rng.normal(size=(3, 6)), requires_grad=True)
+        gamma = Tensor(rng.normal(size=(6,)), requires_grad=True)
+        beta = Tensor(rng.normal(size=(6,)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 6)))
+        check_gradients(
+            lambda: ag.sum_(ag.mul(ag.layer_norm(a, gamma, beta), w)),
+            a, gamma, beta, atol=1e-4,
+        )
+
+
+class TestStructuredOps:
+    def test_conv2d(self, rng):
+        x = Tensor(rng.normal(size=(2, 2, 5, 5)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 2, 3, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        check_gradients(
+            lambda: ag.sum_(ag.conv2d(x, w, b, stride=1, padding=1)), x, w, b
+        )
+
+    def test_conv2d_strided(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 6, 6)), requires_grad=True)
+        w = Tensor(rng.normal(size=(2, 2, 3, 3)), requires_grad=True)
+        check_gradients(
+            lambda: ag.sum_(ag.conv2d(x, w, None, stride=2, padding=0)), x, w
+        )
+
+    def test_max_pool(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 4, 4)), requires_grad=True)
+        check_gradients(lambda: ag.sum_(ag.max_pool2d(x, 2)), x)
+
+    def test_embedding(self, rng):
+        table = Tensor(rng.normal(size=(7, 3)), requires_grad=True)
+        idx = np.array([[0, 2, 2], [5, 1, 0]])
+        check_gradients(lambda: ag.sum_(ag.embedding(table, idx)), table)
+
+    def test_cross_entropy(self, rng):
+        logits = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        labels = np.array([0, 1, 2, 1])
+        check_gradients(lambda: ag.cross_entropy(logits, labels), logits)
+
+
+class TestBackwardMechanics:
+    def test_backward_requires_scalar_output(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ValueError):
+            t.backward()
+
+    def test_no_grad_tracking_without_requires(self, rng):
+        a = Tensor(rng.normal(size=(2, 2)))
+        out = ag.sum_(ag.mul(a, a))
+        assert not out.requires_grad
+
+    def test_detach_breaks_graph(self, rng):
+        a = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        d = ag.mul(a, a).detach()
+        assert not d.requires_grad

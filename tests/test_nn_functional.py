@@ -1,0 +1,138 @@
+"""Functional NN ops: reference semantics and numerical properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+
+
+def _naive_conv2d(x, w, stride, padding):
+    n, c, h, wd = x.shape
+    o, _, kh, kw = w.shape
+    xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    oh = (xp.shape[2] - kh) // stride + 1
+    ow = (xp.shape[3] - kw) // stride + 1
+    out = np.zeros((n, o, oh, ow))
+    for b in range(n):
+        for oc in range(o):
+            for i in range(oh):
+                for j in range(ow):
+                    patch = xp[b, :, i * stride : i * stride + kh, j * stride : j * stride + kw]
+                    out[b, oc, i, j] = (patch * w[oc]).sum()
+    return out
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_matches_naive_convolution(self, rng, stride, padding):
+        x = rng.normal(size=(2, 3, 7, 7))
+        w = rng.normal(size=(4, 3, 3, 3))
+        fast = F.conv2d(x, w, stride=stride, padding=padding)
+        slow = _naive_conv2d(x, w, stride, padding)
+        assert np.allclose(fast, slow)
+
+    def test_bias_added_per_channel(self, rng):
+        x = rng.normal(size=(1, 2, 5, 5))
+        w = np.zeros((3, 2, 1, 1))
+        bias = np.array([1.0, 2.0, 3.0])
+        out = F.conv2d(x, w, bias=bias)
+        assert np.allclose(out[0, 0], 1.0)
+        assert np.allclose(out[0, 2], 3.0)
+
+    def test_im2col_shape(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        patches, (oh, ow) = F.im2col(x, (3, 3), stride=1, padding=1)
+        assert (oh, ow) == (8, 8)
+        assert patches.shape == (2 * 64, 27)
+
+    def test_im2col_col2im_adjoint(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> — the defining adjoint property."""
+        x = rng.normal(size=(1, 2, 6, 6))
+        patches, _ = F.im2col(x, (3, 3), stride=1, padding=1)
+        y = rng.normal(size=patches.shape)
+        lhs = float((patches * y).sum())
+        back = F.col2im(y, x.shape, (3, 3), stride=1, padding=1)
+        rhs = float((x * back).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    def test_kernel_too_large_rejected(self, rng):
+        with pytest.raises(ValueError):
+            F.im2col(rng.normal(size=(1, 1, 3, 3)), (5, 5))
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out, mask = F.max_pool2d(x, 2)
+        assert np.allclose(out[0, 0], [[5, 7], [13, 15]])
+        assert mask.sum() == 4  # one argmax per window
+
+    def test_tie_breaking_single_argmax(self):
+        x = np.ones((1, 1, 4, 4))
+        _, mask = F.max_pool2d(x, 2)
+        assert mask.sum() == 4
+
+
+class TestActivations:
+    def test_relu(self):
+        assert np.allclose(F.relu(np.array([-1.0, 2.0])), [0.0, 2.0])
+
+    def test_gelu_fixed_points(self):
+        assert F.gelu(np.array([0.0]))[0] == pytest.approx(0.0)
+        assert F.gelu(np.array([10.0]))[0] == pytest.approx(10.0, rel=1e-4)
+
+    def test_gelu_grad_matches_finite_difference(self):
+        x = np.linspace(-3, 3, 41)
+        eps = 1e-6
+        numeric = (F.gelu(x + eps) - F.gelu(x - eps)) / (2 * eps)
+        assert np.allclose(F.gelu_grad(x), numeric, atol=1e-6)
+
+
+class TestSoftmaxFamily:
+    @given(
+        st.lists(st.floats(-50, 50), min_size=2, max_size=16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_softmax_is_a_distribution(self, logits):
+        probs = F.softmax(np.array(logits))
+        assert probs.sum() == pytest.approx(1.0, abs=1e-9)
+        assert np.all(probs >= 0)
+
+    @given(st.lists(st.floats(-30, 30), min_size=2, max_size=8), st.floats(-100, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_softmax_shift_invariance(self, logits, shift):
+        a = F.softmax(np.array(logits))
+        b = F.softmax(np.array(logits) + shift)
+        assert np.allclose(a, b, atol=1e-9)
+
+    def test_softmax_extreme_inputs_stable(self):
+        probs = F.softmax(np.array([1e4, -1e4]))
+        assert np.isfinite(probs).all()
+
+    def test_log_softmax_consistency(self, rng):
+        x = rng.normal(size=(3, 5))
+        assert np.allclose(F.log_softmax(x), np.log(F.softmax(x)))
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        assert F.cross_entropy(logits, np.array([0, 1])) == pytest.approx(0.0, abs=1e-6)
+
+    def test_accuracy(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        assert F.accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self, rng):
+        x = rng.normal(3.0, 5.0, size=(4, 16))
+        out = F.layer_norm(x, np.ones(16), np.zeros(16))
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-9)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_gamma_beta_applied(self, rng):
+        x = rng.normal(size=(2, 8))
+        out = F.layer_norm(x, 2.0 * np.ones(8), 3.0 * np.ones(8))
+        base = F.layer_norm(x, np.ones(8), np.zeros(8))
+        assert np.allclose(out, 2.0 * base + 3.0)

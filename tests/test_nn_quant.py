@@ -1,0 +1,102 @@
+"""Int8 quantization: calibration, round-trips, algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn.quant import (
+    ActivationQuant,
+    calibrate_activation,
+    calibrate_weight,
+    quantization_error,
+)
+
+
+class TestActivationQuant:
+    def test_codes_within_range(self, rng):
+        x = rng.normal(size=1000) * 7
+        params = calibrate_activation(x)
+        codes = params.quantize(x)
+        assert codes.min() >= 0 and codes.max() <= 255
+
+    def test_roundtrip_error_bounded_by_half_step(self, rng):
+        x = rng.uniform(-3, 5, size=512)
+        params = calibrate_activation(x)
+        restored = params.dequantize(params.quantize(x))
+        assert np.abs(restored - x).max() <= params.scale / 2 + 1e-12
+
+    def test_zero_maps_to_zero_point(self):
+        params = calibrate_activation(np.array([-1.0, 3.0]))
+        assert params.quantize(np.array([0.0]))[0] == params.zero_point
+
+    def test_constant_tensor_handled(self):
+        params = calibrate_activation(np.zeros(16))
+        assert params.scale > 0
+
+    @given(
+        hnp.arrays(np.float64, st.integers(4, 128),
+                   elements=st.floats(-1e3, 1e3, allow_nan=False)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, x):
+        params = calibrate_activation(x)
+        restored = params.dequantize(params.quantize(x))
+        assert np.abs(restored - x).max() <= params.scale * 0.5 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ActivationQuant(scale=0.0, zero_point=0)
+        with pytest.raises(ValueError):
+            ActivationQuant(scale=1.0, zero_point=300)
+
+
+class TestWeightQuant:
+    def test_per_column_scales(self, rng):
+        w = rng.normal(size=(64, 8))
+        w[:, 3] *= 100.0
+        params = calibrate_weight(w)
+        assert params.scales[3] > 10 * params.scales[0]
+
+    def test_codes_in_int8_range(self, rng):
+        w = rng.normal(size=(32, 4)) * 50
+        codes = calibrate_weight(w).quantize(w)
+        assert codes.min() >= -128 and codes.max() <= 127
+
+    def test_roundtrip_error_bounded(self, rng):
+        w = rng.normal(size=(32, 4))
+        params = calibrate_weight(w)
+        restored = params.dequantize(params.quantize(w))
+        assert np.abs(restored - w).max() <= params.scales.max() / 2 + 1e-12
+
+    def test_zero_column_safe(self):
+        w = np.zeros((8, 2))
+        w[:, 1] = 1.0
+        params = calibrate_weight(w)
+        assert np.all(np.isfinite(params.scales))
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            calibrate_weight(np.zeros(8))
+
+
+class TestQuantizedMatmulAlgebra:
+    def test_reconstruction_close_to_float(self, rng):
+        """The full affine algebra: dequantized int GEMM ~ float GEMM."""
+        x = rng.normal(size=(8, 64))
+        w = rng.normal(size=(64, 16))
+        act_q = calibrate_activation(x)
+        w_q = calibrate_weight(w)
+        xi = act_q.quantize(x)
+        wi = w_q.quantize(w)
+        dots = (xi - act_q.zero_point) @ wi
+        approx = dots * act_q.scale * w_q.scales[None, :]
+        exact = x @ w
+        rel = np.abs(approx - exact).max() / np.abs(exact).max()
+        assert rel < 0.02
+
+    def test_quantization_error_diagnostic(self, rng):
+        fine = quantization_error(rng.normal(size=256), bits=8)
+        coarse = quantization_error(rng.normal(size=256), bits=4)
+        assert coarse > fine

@@ -1,0 +1,108 @@
+"""Report formatting helpers and result dataclasses."""
+
+import pytest
+
+from repro.arch.result import LayerResult, RunResult
+from repro.experiments.report import (
+    bullet_list,
+    format_ratio,
+    format_series,
+    format_table,
+    section,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(("a", "bbb"), [(1, 2), ("xx", "y")])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+        # Columns align: every row has the same width.
+        assert len({len(line) for line in lines}) <= 2
+
+    def test_bool_rendering(self):
+        text = format_table(("flag",), [(True,), (False,)])
+        assert "Yes" in text and "No" in text
+
+    def test_float_rendering(self):
+        text = format_table(("v",), [(3.14159,)])
+        assert "3.142" in text
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1,)])
+
+
+class TestSeriesAndRatios:
+    def test_series(self):
+        text = format_series("curve", [0, 1], [0.5, 0.75])
+        assert "curve" in text and "0.7500" in text
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("x", [0], [1.0, 2.0])
+
+    def test_ratio_formats_by_magnitude(self):
+        assert format_ratio(352.4) == "352x"
+        assert format_ratio(19.94) == "19.9x"
+        assert format_ratio(3.901) == "3.90x"
+
+    def test_section_and_bullets(self):
+        assert section("Title").startswith("Title\n=====")
+        assert bullet_list(["a", "b"]).count("-") == 2
+
+
+def _layer(name="l", compute=100.0, writes=0.0, data=10.0, c_ns=20.0, d_ns=5.0):
+    return LayerResult(
+        layer_name=name,
+        vmm_count=4,
+        compute_energy_pj=compute,
+        weight_write_energy_pj=writes,
+        data_movement_energy_pj=data,
+        compute_latency_ns=c_ns,
+        data_latency_ns=d_ns,
+        utilization=0.5,
+    )
+
+
+class TestLayerResult:
+    def test_energy_sums_components(self):
+        layer = _layer(compute=100.0, writes=20.0, data=10.0)
+        assert layer.energy_pj == pytest.approx(130.0)
+
+    def test_latency_overlaps_compute_and_data(self):
+        assert _layer(c_ns=20.0, d_ns=5.0).latency_ns == 20.0
+        assert _layer(c_ns=5.0, d_ns=20.0).latency_ns == 20.0
+
+
+class TestRunResult:
+    def _run(self):
+        return RunResult(
+            accelerator="yoco",
+            workload="toy",
+            total_ops=1_000_000,
+            layers=(_layer("a"), _layer("b", compute=300.0, c_ns=60.0)),
+        )
+
+    def test_rollups(self):
+        run = self._run()
+        assert run.energy_pj == pytest.approx(110.0 + 310.0)
+        assert run.latency_ns == pytest.approx(80.0)
+
+    def test_derived_metrics(self):
+        run = self._run()
+        assert run.throughput_tops == pytest.approx(
+            1_000_000 / 80e-9 / 1e12
+        )
+        assert run.efficiency_tops_per_watt == pytest.approx(
+            1_000_000 / (420e-12) / 1e12
+        )
+        assert run.inferences_per_second == pytest.approx(1.0 / 80e-9)
+
+    def test_breakdown_and_utilization(self):
+        run = self._run()
+        breakdown = run.energy_breakdown_pj()
+        assert breakdown["compute"] == pytest.approx(400.0)
+        assert breakdown["data_movement"] == pytest.approx(20.0)
+        assert run.mean_utilization() == pytest.approx(0.5)

@@ -1,0 +1,68 @@
+"""IMAUnit weight contexts: multi-matrix residency via the cluster MUX."""
+
+import numpy as np
+import pytest
+
+from repro.core.tile import Tile
+
+
+@pytest.fixture
+def tile():
+    return Tile(seed=0)
+
+
+class TestContextStorage:
+    def test_sima_holds_32_contexts(self, tile):
+        assert tile.simas[0].contexts == 32
+
+    def test_dima_holds_8_contexts(self, tile):
+        assert tile.dimas[0].contexts == 8
+
+    def test_write_into_slots_and_switch(self, tile, rng):
+        unit = tile.simas[0]
+        w0 = rng.integers(0, 256, (1024, 256))
+        w1 = rng.integers(0, 256, (1024, 256))
+        unit.write_weights(w0, context=0)
+        unit.write_weights(w1, context=1)
+        assert unit.active_context == 1
+        x = rng.integers(0, 256, (1, 1024))
+        out1 = unit.vmm_dequantized_batch(x)
+        unit.select_context(0)
+        out0 = unit.vmm_dequantized_batch(x)
+        # The two contexts compute against their own matrices.
+        scale = 1024 * 255
+        assert np.abs(out0 - x @ w0).max() / scale < 3.0
+        assert np.abs(out1 - x @ w1).max() / scale < 3.0
+
+    def test_switching_is_not_a_write(self, tile, rng):
+        unit = tile.simas[0]
+        unit.write_weights(rng.integers(0, 256, (1024, 256)), context=0)
+        unit.write_weights(rng.integers(0, 256, (1024, 256)), context=1)
+        writes_before = tile.ledger.count("sima", "write_weight_bit")
+        unit.select_context(0)
+        unit.select_context(1)
+        assert tile.ledger.count("sima", "write_weight_bit") == writes_before
+        assert unit.context_switch_count == 2
+
+    def test_selecting_same_context_is_noop(self, tile, rng):
+        unit = tile.dimas[0]
+        unit.write_weights(rng.integers(0, 256, (1024, 256)), context=3)
+        unit.select_context(3)
+        assert unit.context_switch_count == 0
+
+    def test_unprogrammed_context_rejected(self, tile):
+        with pytest.raises(ValueError, match="not been programmed"):
+            tile.simas[0].select_context(5)
+
+    def test_out_of_range_context_rejected(self, tile, rng):
+        with pytest.raises(ValueError, match="out of range"):
+            tile.dimas[0].write_weights(
+                rng.integers(0, 256, (1024, 256)), context=8
+            )
+
+    def test_write_count_tracks_programs_only(self, tile, rng):
+        unit = tile.simas[0]
+        unit.write_weights(rng.integers(0, 256, (1024, 256)), context=0)
+        unit.write_weights(rng.integers(0, 256, (1024, 256)), context=1)
+        unit.select_context(0)
+        assert unit.weight_write_count == 2
