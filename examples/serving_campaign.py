@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Serving campaign: YOCO vs the Fig. 8 baselines under identical traffic.
+
+Every accelerator gets the same 4-chip cluster, the same dynamic-batching
+policy and the *same* request trace (same seed — arrivals are identical
+down to the nanosecond), so the differences in tail latency, goodput and
+energy per request come purely from the per-inference cost models the
+paper derives.  The load sweep walks offered traffic up until the weakest
+design saturates, which is where serving metrics separate architectures
+far more dramatically than the paper's single-inference geomeans.
+
+Run:  python examples/serving_campaign.py [model] [chips]
+      (defaults: resnet18 on 4 chips; try vit, qdqbert, gpt_large, ...)
+"""
+
+import sys
+
+from repro.baselines import isaac_spec, raella_spec, timely_spec
+from repro.experiments.report import format_ratio, format_table, section
+from repro.models import BENCHMARK_MODELS
+from repro.serve import simulate_serving
+
+SPECS = {
+    "yoco": None,  # simulate_serving defaults to the YOCO spec
+    "isaac": isaac_spec(),
+    "raella": raella_spec(),
+    "timely": timely_spec(),
+}
+
+
+def campaign(model: str, chips: int, rps: float, seed: int = 0):
+    """One load point: every accelerator serves the identical trace."""
+    rows = {}
+    for name, spec in SPECS.items():
+        report, _ = simulate_serving(
+            [model], n_chips=chips, rps=rps, seed=seed, spec=spec
+        )
+        rows[name] = report
+    return rows
+
+
+def main() -> None:
+    model = sys.argv[1] if len(sys.argv) > 1 else "resnet18"
+    chips = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    if model not in BENCHMARK_MODELS:
+        raise SystemExit(f"unknown model {model!r}; pick from {BENCHMARK_MODELS}")
+
+    # Anchor the sweep on YOCO's batch-1 service rate for the model
+    # (window off so queueing and batching delay don't pollute the anchor).
+    base, _ = simulate_serving(
+        [model], n_chips=chips, rps=100.0, duration_s=0.05,
+        max_batch_size=1, window_ms=0.0,
+    )
+    service_ms = base.per_model[0].p50_ms
+    peak_rps = chips / (service_ms * 1e-3)
+
+    print(section(f"Serving campaign — {model}, {chips} chips per accelerator"))
+    print(f"YOCO batch-1 service: {service_ms:.3f} ms "
+          f"=> ~{peak_rps:.0f} req/s cluster ceiling\n")
+
+    for fraction in (0.2, 0.6, 1.2):
+        rps = fraction * peak_rps
+        rows = campaign(model, chips, rps)
+        print(f"--- offered load {rps:.0f} req/s "
+              f"({100 * fraction:.0f} % of YOCO ceiling) ---")
+        print(
+            format_table(
+                ("accelerator", "p50 ms", "p99 ms", "goodput req/s",
+                 "SLO attain", "uJ/req", "mean util"),
+                [
+                    (
+                        name,
+                        f"{r.per_model[0].p50_ms:.3f}",
+                        f"{r.per_model[0].p99_ms:.3f}",
+                        f"{r.goodput_rps:.0f}",
+                        f"{100 * r.slo_attainment:.1f}%",
+                        f"{r.energy_per_request_uj:.2f}",
+                        f"{100 * r.mean_chip_utilization:.0f}%",
+                    )
+                    for name, r in rows.items()
+                ],
+            )
+        )
+        yoco, isaac = rows["yoco"], rows["isaac"]
+        print(
+            f"YOCO vs ISAAC: "
+            f"{format_ratio(isaac.energy_per_request_uj / yoco.energy_per_request_uj)}"
+            f" energy/request, "
+            f"{format_ratio(max(1e-9, isaac.per_model[0].p99_ms) / max(1e-9, yoco.per_model[0].p99_ms))}"
+            f" p99 latency\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,2 +1,10 @@
+"""Legacy installer shim — all metadata lives in pyproject.toml.
+
+Kept so tooling that still invokes setup.py directly keeps working; the
+src/ layout, the `repro` console script and the package metadata are
+declared in [project] / [tool.setuptools] of pyproject.toml.
+"""
+
 from setuptools import setup
+
 setup()

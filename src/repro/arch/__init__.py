@@ -12,11 +12,16 @@ from repro.arch.pipeline import (
     geometry_for_workload,
 )
 from repro.arch.result import LayerResult, RunResult, geometric_mean
-from repro.arch.simulator import ArchitectureSimulator, PipelinedRunResult
+from repro.arch.simulator import (
+    ArchitectureSimulator,
+    BatchRunResult,
+    PipelinedRunResult,
+)
 
 __all__ = [
     "AcceleratorSpec",
     "ArchitectureSimulator",
+    "BatchRunResult",
     "AttentionGeometry",
     "AttentionPipelineModel",
     "ChipBackend",

@@ -15,6 +15,25 @@ mapper's plan with the accelerator's cost coefficients:
 * **latency** — VMM issue over the unit pool, overlapped (double-buffered)
   with data movement; dynamic-write latency serialises with compute for
   designs whose compute cells must be reprogrammed mid-inference.
+
+The request-level serving simulator (:mod:`repro.serve`) builds on this
+module and consumes exactly three outputs, which form the contract between
+the two layers:
+
+* :meth:`ArchitectureSimulator.run` — the batch-1 energy/latency roll-up;
+  a serving batch of one request must cost exactly this much
+  (``run_batch(w, 1)`` equals ``run(w)`` by construction);
+* :meth:`ArchitectureSimulator.run_batch` — service time and energy of a
+  size-``B`` batch: waves amortize over the unit pool (sub-linear latency)
+  while energy stays linear in ``B`` (every request moves its own
+  activations and programs its own dynamic operands);
+* :meth:`ArchitectureSimulator.run_layer_pipelined` — the streaming mode;
+  the serving cluster models a pipelined chip as ``fill_ns`` for the first
+  request of a batch plus ``interval_ns`` for each subsequent one.
+
+:meth:`ArchitectureSimulator.replication_budget` and
+:meth:`ArchitectureSimulator.overflow_layers` are the public capacity hooks
+the cluster planner uses for capacity-aware placement.
 """
 
 from __future__ import annotations
@@ -64,6 +83,44 @@ class PipelinedRunResult:
         compete for the same units.
         """
         return self.fill_ns / self.interval_ns
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchRunResult:
+    """Batched (multi-inference) execution of one workload on one chip.
+
+    Latency is sub-linear in batch size: the ``ceil(vmm / units)`` wave
+    count amortizes over more work, and — the big win for models beyond
+    the on-chip weight capacity — overflow weights stream from off-chip
+    *once per batch* and are reused by every inference in it.  Energy is
+    linear per inference except for that same off-chip weight traffic.
+    Activations and dynamic-operand programming repeat per inference.
+    At ``batch_size == 1`` both numbers equal the :class:`RunResult`
+    roll-up exactly.
+    """
+
+    run: RunResult  # the per-inference (batch-1) roll-up
+    batch_size: int
+    latency_ns: float  # service time of the whole batch
+    energy_pj: float  # energy of the whole batch
+
+    @property
+    def energy_per_inference_pj(self) -> float:
+        return self.energy_pj / self.batch_size
+
+    @property
+    def latency_per_inference_ns(self) -> float:
+        return self.latency_ns / self.batch_size
+
+    @property
+    def throughput_tops(self) -> float:
+        ops = self.run.total_ops * self.batch_size
+        return ops / (self.latency_ns * 1e-9) / 1e12
+
+    @property
+    def batching_speedup(self) -> float:
+        """Per-inference service-time gain over running batch-1 in series."""
+        return self.run.latency_ns / self.latency_per_inference_ns
 
 
 class ArchitectureSimulator:
@@ -164,6 +221,62 @@ class ArchitectureSimulator:
             return self._spec.n_units
         return max(1, self._spec.weight_capacity_bytes // weights)
 
+    # -- public capacity hooks (consumed by repro.serve.cluster) -------------------
+    def replication_budget(self, workload: WorkloadSpec) -> int:
+        """How many weight copies the chip can pin for this workload."""
+        return self._replication_budget(workload)
+
+    def overflow_layers(self, workload: WorkloadSpec) -> "set[str]":
+        """Layer names whose static weights stream off-chip each inference."""
+        return self._overflow_layers(workload)
+
+    # -- batched execution ---------------------------------------------------------
+    def run_batch(self, workload: WorkloadSpec, batch_size: int) -> BatchRunResult:
+        """Cost a batch of ``batch_size`` inferences run back to back.
+
+        Each layer issues its ``batch_size x vmm_count`` VMMs in waves over
+        the same replicated tile set, so partially filled waves amortize;
+        activations and dynamic-operand programming repeat per inference.
+        Overflow weights (layers past the on-chip capacity under the
+        deployment-style accounting) stream from off-chip once per batch
+        and serve every inference in it — the weight-reuse effect that
+        makes batching pay for LLM-scale models.  ``run_batch(w, 1)``
+        reproduces :meth:`run` exactly — the contract the serving engine's
+        energy accounting relies on.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        spec = self._spec
+        run = self.run(workload)
+        replicas = self._replication_budget(workload)
+        overflow = self._overflow_layers(workload)
+        latency = 0.0
+        energy = 0.0
+        for layer, cost in zip(workload.layers, run.layers):
+            plan = map_layer(layer, spec)
+            layer_replicas = replicas if layer.static_weights else 1
+            effective_units = min(
+                spec.n_units, plan.tiles_per_instance * max(1, layer_replicas)
+            )
+            waves = math.ceil(batch_size * plan.vmm_count / effective_units)
+            compute_ns = waves * spec.unit_vmm_latency_ns
+            if not layer.static_weights:
+                rows = min(layer.gemm.k, spec.unit_input_dim)
+                compute_ns += batch_size * rows * spec.dynamic_write_ns_per_row
+            # Off-chip overflow weights: fetched once, reused batch-wide.
+            offchip_pj = 0.0
+            if layer.name in overflow:
+                weight_bits = layer.weight_bytes * 8
+                offchip_pj = weight_bits * spec.offchip_pj_per_bit
+            latency += max(compute_ns, cost.data_latency_ns)
+            energy += batch_size * (cost.energy_pj - offchip_pj) + offchip_pj
+        return BatchRunResult(
+            run=run,
+            batch_size=batch_size,
+            latency_ns=latency,
+            energy_pj=energy,
+        )
+
     # -- streaming execution -------------------------------------------------------
     def run_layer_pipelined(self, workload: WorkloadSpec) -> PipelinedRunResult:
         """Stream inferences through all layers concurrently (ISAAC-style).
@@ -173,6 +286,12 @@ class ArchitectureSimulator:
         the slowest layer's per-inference latency.  When the layers'
         combined tile footprint exceeds the unit pool, stages time-share
         and the interval stretches by the oversubscription factor.
+
+        Under the deployment-style accounting (``weights_resident=False``)
+        overflow layers must re-stream their weights over the single
+        off-chip link every inference; that serialized traffic bounds the
+        steady interval and lengthens the fill.  With the default resident
+        methodology no layer carries data latency and nothing changes.
         """
         spec = self._spec
         plans = [map_layer(layer, spec) for layer in workload.layers]
@@ -182,12 +301,16 @@ class ArchitectureSimulator:
         latencies = [
             self._compute_latency_ns(plan, max_replicas=1) for plan in plans
         ]
-        interval = max(latencies) * oversubscription
         run = self.run(workload)
+        # Off-chip overflow streaming shares one link across all stages, so
+        # it serializes: each inference needs the *sum* of the stages'
+        # weight-stream times regardless of pipeline overlap.
+        stream_ns = sum(layer.data_latency_ns for layer in run.layers)
+        interval = max(max(latencies) * oversubscription, stream_ns)
         return PipelinedRunResult(
             run=run,
             interval_ns=interval,
-            fill_ns=sum(latencies),
+            fill_ns=sum(latencies) + stream_ns,
             oversubscription=oversubscription,
         )
 

@@ -8,6 +8,13 @@
 Each subcommand prints the same rows/series the corresponding table or
 figure in the paper shows (the benchmark suite wraps the same drivers with
 assertions and timing).
+
+Beyond the paper's artifacts, ``serve`` runs the request-level serving
+simulator (:mod:`repro.serve`) — synthetic traffic through a dynamically
+batched multi-chip cluster:
+
+    python -m repro serve --model resnet18 --chips 4 --rps 2000 --seed 0
+    python -m repro serve --model llama3_7b --chips 8 --rps 50 --trace bursty
 """
 
 from __future__ import annotations
@@ -32,6 +39,35 @@ from repro.experiments import (
     run_fig6f,
 )
 from repro.experiments.report import section
+from repro.serve import (
+    MODES,
+    PLACEMENTS,
+    TRACE_KINDS,
+    format_serving,
+    simulate_serving,
+)
+
+
+def _serve(args: argparse.Namespace) -> str:
+    models = args.model if args.model else ["resnet18"]
+    report, _ = simulate_serving(
+        models,
+        n_chips=args.chips,
+        rps=args.rps,
+        duration_s=args.duration,
+        trace_kind=args.trace,
+        seed=args.seed,
+        mode=args.mode,
+        placement=args.placement,
+        max_batch_size=args.max_batch,
+        window_ms=args.window_ms,
+        slo_ms=args.slo_ms,
+    )
+    header = (
+        f"traffic           : {','.join(models)} @ {args.rps:g} req/s "
+        f"({args.trace}, {args.duration:g} s horizon, seed {args.seed})"
+    )
+    return header + "\n" + format_serving(report)
 
 
 def _table1(args: argparse.Namespace) -> str:
@@ -97,6 +133,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "fig8": _fig8,
     "fig9": _fig9,
     "fig10": _fig10,
+    "serve": _serve,
 }
 
 _TITLES: Dict[str, str] = {
@@ -112,6 +149,7 @@ _TITLES: Dict[str, str] = {
     "fig8": "Fig. 8 - architecture comparison (10 models)",
     "fig9": "Fig. 9 - DAC/ADC overhead comparison",
     "fig10": "Fig. 10 - attention pipeline speedup",
+    "serve": "Serving simulation - request-level cluster model",
 }
 
 
@@ -131,6 +169,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="reduced fidelity for the slow artifacts (fig6bc/fig6d/fig6f)",
     )
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    serve = parser.add_argument_group("serve options")
+    serve.add_argument(
+        "--model",
+        action="append",
+        help="model(s) to serve; repeatable (default: resnet18)",
+    )
+    serve.add_argument("--chips", type=int, default=4, help="cluster size")
+    serve.add_argument(
+        "--rps", type=float, default=2000.0, help="offered load, requests/second"
+    )
+    serve.add_argument(
+        "--duration", type=float, default=0.1, help="simulated horizon, seconds"
+    )
+    serve.add_argument(
+        "--trace",
+        choices=TRACE_KINDS,
+        default="poisson",
+        help="arrival process shape",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=8, help="dynamic batching cap"
+    )
+    serve.add_argument(
+        "--window-ms",
+        type=float,
+        default=0.2,
+        help="batching window in milliseconds",
+    )
+    serve.add_argument(
+        "--slo-ms",
+        type=float,
+        default=None,
+        help="latency SLO in ms (default: 10x the batch-1 service latency)",
+    )
+    serve.add_argument(
+        "--mode",
+        choices=MODES,
+        default="batched",
+        help="per-chip execution: wave-amortized batches or layer pipelining",
+    )
+    serve.add_argument(
+        "--placement",
+        choices=PLACEMENTS,
+        default="replicated",
+        help="model-to-chip placement strategy",
+    )
     return parser
 
 

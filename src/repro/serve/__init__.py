@@ -1,0 +1,123 @@
+"""Request-level serving simulator: traffic -> cluster -> tail latency.
+
+Turns the per-inference cost models of :mod:`repro.arch` into
+cluster-scale serving numbers: offered traffic (synthetic arrival traces)
+flows through per-model queues and a dynamic batcher onto N accelerator
+chips, and comes out as p50/p95/p99 latency, SLO attainment, goodput,
+chip utilization and energy per request.
+
+    from repro.serve import simulate_serving
+    report, _ = simulate_serving(["resnet18"], n_chips=4, rps=2000, seed=0)
+    print(format_serving(report))
+
+The same entry point backs ``python -m repro serve`` and the
+``benchmarks/bench_serving.py`` suite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.arch.accelerator import AcceleratorSpec
+from repro.models.zoo import get_workload
+from repro.serve.batching import Batch, BatchingPolicy, ModelQueue
+from repro.serve.cluster import (
+    Cluster,
+    ChipPlan,
+    ChipService,
+    ClusterPlan,
+    MODES,
+    PLACEMENTS,
+    plan_cluster,
+)
+from repro.serve.engine import ServedRequest, ServingEngine, ServingResult
+from repro.serve.metrics import (
+    ModelServingStats,
+    ServingReport,
+    format_serving,
+    percentile,
+    summarize,
+)
+from repro.serve.traces import (
+    Request,
+    TRACE_KINDS,
+    bursty_trace,
+    diurnal_trace,
+    fixed_trace,
+    make_trace,
+    merge_traces,
+    poisson_trace,
+    uniform_trace,
+)
+
+__all__ = [
+    "Batch",
+    "BatchingPolicy",
+    "ChipPlan",
+    "ChipService",
+    "Cluster",
+    "ClusterPlan",
+    "MODES",
+    "ModelQueue",
+    "ModelServingStats",
+    "PLACEMENTS",
+    "Request",
+    "ServedRequest",
+    "ServingEngine",
+    "ServingReport",
+    "ServingResult",
+    "TRACE_KINDS",
+    "bursty_trace",
+    "diurnal_trace",
+    "fixed_trace",
+    "format_serving",
+    "make_trace",
+    "merge_traces",
+    "percentile",
+    "plan_cluster",
+    "poisson_trace",
+    "simulate_serving",
+    "summarize",
+    "uniform_trace",
+]
+
+
+def simulate_serving(
+    models: Sequence[str],
+    n_chips: int,
+    rps: float,
+    duration_s: float = 0.1,
+    trace_kind: str = "poisson",
+    seed: int = 0,
+    spec: Optional[AcceleratorSpec] = None,
+    mode: str = "batched",
+    placement: str = "replicated",
+    max_batch_size: int = 8,
+    window_ms: float = 0.2,
+    slo_ms: Optional[float] = None,
+) -> Tuple[ServingReport, ServingResult]:
+    """End-to-end serving run: build trace + cluster, simulate, summarize.
+
+    Offered load ``rps`` is split evenly across ``models``; each model's
+    sub-trace draws from its own seeded stream so adding a model never
+    perturbs another's arrivals.
+    """
+    if not models:
+        raise ValueError("need at least one model to serve")
+    workloads = [get_workload(name) for name in models]
+    per_model_rps = rps / len(models)
+    trace = merge_traces(
+        *(
+            make_trace(trace_kind, name, per_model_rps, duration_s, seed=seed + i)
+            for i, name in enumerate(models)
+        )
+    )
+    cluster = Cluster(
+        workloads, n_chips=n_chips, spec=spec, mode=mode, placement=placement
+    )
+    policy = BatchingPolicy(
+        max_batch_size=max_batch_size, window_ns=window_ms * 1e6
+    )
+    result = ServingEngine(cluster, policy).run(trace)
+    report = summarize(result, cluster, slo_ms=slo_ms)
+    return report, result

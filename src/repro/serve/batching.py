@@ -1,0 +1,111 @@
+"""Dynamic batching: per-model request queues and the dispatch policy.
+
+The scheduler is the continuous-batching rule production inference servers
+use: a batch dispatches to a free chip as soon as either (a) a full
+``max_batch_size`` is waiting, or (b) the oldest queued request has waited
+out the ``window_ns`` batching window.  Larger windows trade first-token
+latency for bigger (more efficient) batches; ``max_batch_size=1`` degrades
+to pure FIFO serving, which is how the engine's energy accounting is tied
+back to the single-inference :class:`repro.arch.RunResult` roll-up.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Deque, Tuple
+
+from repro.serve.traces import Request
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchingPolicy:
+    """Knobs of the dynamic batcher.
+
+    Attributes
+    ----------
+    max_batch_size:
+        Most requests one dispatched batch may carry.
+    window_ns:
+        How long the oldest queued request may wait before a partial batch
+        dispatches anyway (0 disables batching delay entirely).
+    """
+
+    max_batch_size: int = 8
+    window_ns: float = 200_000.0  # 0.2 ms
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.window_ns < 0:
+            raise ValueError("window_ns must be non-negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class Batch:
+    """One dispatched unit of work: co-scheduled requests of one model."""
+
+    model: str
+    requests: Tuple[Request, ...]
+    dispatch_ns: float
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise ValueError("batch must carry at least one request")
+        if any(r.model != self.model for r in self.requests):
+            raise ValueError("batch mixes models")
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+    @property
+    def oldest_wait_ns(self) -> float:
+        return self.dispatch_ns - min(r.arrival_ns for r in self.requests)
+
+
+class ModelQueue:
+    """FIFO of pending requests for one model."""
+
+    def __init__(self, model: str) -> None:
+        self.model = model
+        self._pending: Deque[Request] = collections.deque()
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def push(self, request: Request) -> None:
+        if request.model != self.model:
+            raise ValueError(
+                f"request for {request.model!r} pushed onto {self.model!r} queue"
+            )
+        self._pending.append(request)
+
+    @property
+    def oldest_arrival_ns(self) -> float:
+        if not self._pending:
+            raise IndexError("queue is empty")
+        return self._pending[0].arrival_ns
+
+    def ready(self, now_ns: float, policy: BatchingPolicy) -> bool:
+        """Would a batch dispatch right now under this policy?"""
+        if not self._pending:
+            return False
+        if len(self._pending) >= policy.max_batch_size:
+            return True
+        # Compare against the *same float expression* the engine schedules
+        # its window event with, so the event firing at the deadline always
+        # observes a ready queue (no one-ULP re-arm loops).
+        return now_ns >= self.window_deadline_ns(policy)
+
+    def window_deadline_ns(self, policy: BatchingPolicy) -> float:
+        """When the oldest queued request's batching window expires."""
+        return self.oldest_arrival_ns + policy.window_ns
+
+    def pop_batch(self, now_ns: float, policy: BatchingPolicy) -> Batch:
+        """Dequeue up to ``max_batch_size`` requests as one batch."""
+        if not self._pending:
+            raise IndexError("cannot pop a batch from an empty queue")
+        take = min(len(self._pending), policy.max_batch_size)
+        requests = tuple(self._pending.popleft() for _ in range(take))
+        return Batch(model=self.model, requests=requests, dispatch_ns=now_ns)

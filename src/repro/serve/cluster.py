@@ -1,0 +1,256 @@
+"""Multi-chip cluster model: placement and per-chip service costs.
+
+A cluster is ``n_chips`` copies of one :class:`AcceleratorSpec` serving a
+set of model workloads.  Two placement strategies:
+
+* ``replicated`` — every chip hosts every model (pure data parallelism);
+* ``partitioned`` — greedy capacity-aware bin packing: heaviest models
+  claim the emptiest chips first, then idle chips replicate the most
+  compute-hungry models.
+
+Capacity awareness reuses the architecture simulator's own hooks
+(:meth:`ArchitectureSimulator.replication_budget` /
+:meth:`ArchitectureSimulator.overflow_layers`): chips whose resident model
+set fits on-chip split the weight capacity evenly (so each model's
+replication budget shrinks when it shares a die), while chips whose set
+overflows fall back to the deployment-style ``weights_resident=False``
+accounting where overflow weights stream over the off-chip link every
+inference.
+
+Two execution modes per chip:
+
+* ``batched`` — each dispatched batch runs via
+  :meth:`ArchitectureSimulator.run_batch` (wave-amortized latency);
+* ``pipelined`` — the chip streams inferences ISAAC-style via
+  :meth:`ArchitectureSimulator.run_layer_pipelined`: a size-``B`` batch
+  costs one pipeline fill plus ``B - 1`` steady-state intervals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.accelerator import AcceleratorSpec, yoco_spec
+from repro.arch.simulator import ArchitectureSimulator
+from repro.models.workload import WorkloadSpec
+
+PLACEMENTS = ("replicated", "partitioned")
+MODES = ("batched", "pipelined")
+
+
+@dataclasses.dataclass(frozen=True)
+class ChipPlan:
+    """What one chip of the cluster hosts."""
+
+    chip_id: int
+    models: Tuple[str, ...]
+    weight_bytes: int
+    fits: bool  # resident model set fits the on-chip weight capacity
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterPlan:
+    """Placement of every model onto every chip."""
+
+    n_chips: int
+    chips: Tuple[ChipPlan, ...]
+    placements: Dict[str, Tuple[int, ...]]  # model -> hosting chip ids
+
+
+def plan_cluster(
+    workloads: Sequence[WorkloadSpec],
+    n_chips: int,
+    spec: AcceleratorSpec,
+    placement: str = "replicated",
+) -> ClusterPlan:
+    """Assign models to chips under the chosen placement strategy."""
+    if n_chips < 1:
+        raise ValueError("n_chips must be >= 1")
+    if not workloads:
+        raise ValueError("cluster needs at least one workload")
+    names = [w.name for w in workloads]
+    if len(set(names)) != len(names):
+        raise ValueError("duplicate workload names in cluster")
+    if placement == "replicated":
+        assigned: List[List[str]] = [list(names) for _ in range(n_chips)]
+    elif placement == "partitioned":
+        assigned = _partition(workloads, n_chips, spec)
+    else:
+        raise ValueError(
+            f"unknown placement {placement!r}; available: {PLACEMENTS}"
+        )
+    by_name = {w.name: w for w in workloads}
+    chips = tuple(
+        ChipPlan(
+            chip_id=chip_id,
+            models=tuple(models),
+            weight_bytes=sum(by_name[m].total_weight_bytes for m in models),
+            fits=sum(by_name[m].total_weight_bytes for m in models)
+            <= spec.weight_capacity_bytes,
+        )
+        for chip_id, models in enumerate(assigned)
+    )
+    placements = {
+        name: tuple(c.chip_id for c in chips if name in c.models) for name in names
+    }
+    for name, hosts in placements.items():
+        if not hosts:
+            raise RuntimeError(f"model {name!r} placed on no chip")
+    return ClusterPlan(n_chips=n_chips, chips=chips, placements=placements)
+
+
+def _partition(
+    workloads: Sequence[WorkloadSpec], n_chips: int, spec: AcceleratorSpec
+) -> List[List[str]]:
+    """Greedy capacity-aware packing, then replicate hot models onto idle chips."""
+    assigned: List[List[str]] = [[] for _ in range(n_chips)]
+    remaining = [float(spec.weight_capacity_bytes)] * n_chips
+    # Heaviest first onto the chip with the most free capacity.
+    for w in sorted(workloads, key=lambda w: (-w.total_weight_bytes, w.name)):
+        chip = max(range(n_chips), key=lambda c: (remaining[c], -c))
+        assigned[chip].append(w.name)
+        remaining[chip] -= w.total_weight_bytes
+    # Idle chips become data-parallel replicas of the busiest models.
+    hosts = {w.name: sum(w.name in a for a in assigned) for w in workloads}
+    ops = {w.name: w.total_ops for w in workloads}
+    for chip in range(n_chips):
+        if assigned[chip]:
+            continue
+        name = max(ops, key=lambda n: (ops[n] / hosts[n], n))
+        assigned[chip].append(name)
+        hosts[name] += 1
+    return assigned
+
+
+@dataclasses.dataclass(frozen=True)
+class ChipService:
+    """Cost of serving one batch on one chip."""
+
+    latency_ns: float
+    energy_pj: float
+
+
+class Cluster:
+    """N identical accelerator chips plus the placement over them.
+
+    The serving engine treats this object as a pure cost oracle: it asks
+    which chips may host a model (:meth:`chips_for`) and what a size-``B``
+    batch costs on a given chip (:meth:`service`).  All costs are cached —
+    the discrete-event loop stays free of simulator calls.
+    """
+
+    def __init__(
+        self,
+        workloads: Sequence[WorkloadSpec],
+        n_chips: int,
+        spec: Optional[AcceleratorSpec] = None,
+        mode: str = "batched",
+        placement: str = "replicated",
+    ) -> None:
+        if mode not in MODES:
+            raise ValueError(f"unknown mode {mode!r}; available: {MODES}")
+        self._spec = spec if spec is not None else yoco_spec()
+        self._mode = mode
+        self._workloads = {w.name: w for w in workloads}
+        self._plan = plan_cluster(workloads, n_chips, self._spec, placement)
+        self._chip_specs = tuple(
+            self._effective_spec(chip) for chip in self._plan.chips
+        )
+        # Replicated chips are identical; cache by cost-relevant key, not
+        # chip id, so an 8-chip cluster simulates each model once.
+        self._chip_keys = tuple(
+            (spec.weight_capacity_bytes, chip.fits)
+            for spec, chip in zip(self._chip_specs, self._plan.chips)
+        )
+        self._simulators: Dict[Tuple[int, bool], ArchitectureSimulator] = {}
+        self._service_cache: Dict[Tuple[Tuple[int, bool], str, int], ChipService] = {}
+        self._stream_cache: Dict[Tuple[Tuple[int, bool], str], object] = {}
+
+    # -- accessors -----------------------------------------------------------------
+    @property
+    def spec(self) -> AcceleratorSpec:
+        return self._spec
+
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    @property
+    def n_chips(self) -> int:
+        return self._plan.n_chips
+
+    @property
+    def plan(self) -> ClusterPlan:
+        return self._plan
+
+    @property
+    def models(self) -> Tuple[str, ...]:
+        return tuple(self._workloads)
+
+    def workload(self, model: str) -> WorkloadSpec:
+        return self._workloads[model]
+
+    def chips_for(self, model: str) -> Tuple[int, ...]:
+        """Chip ids hosting (a replica of) this model."""
+        return self._plan.placements[model]
+
+    # -- cost oracle ---------------------------------------------------------------
+    def service(self, chip_id: int, model: str, batch_size: int) -> ChipService:
+        """Latency/energy of one size-``batch_size`` batch on ``chip_id``."""
+        if chip_id not in self.chips_for(model):
+            raise ValueError(f"chip {chip_id} does not host model {model!r}")
+        key = (self._chip_keys[chip_id], model, batch_size)
+        cached = self._service_cache.get(key)
+        if cached is None:
+            cached = self._cost(chip_id, model, batch_size)
+            self._service_cache[key] = cached
+        return cached
+
+    def reference_latency_ns(self, model: str) -> float:
+        """Batch-1 service latency — the no-queueing, no-batching floor."""
+        chip = self.chips_for(model)[0]
+        return self.service(chip, model, 1).latency_ns
+
+    def _cost(self, chip_id: int, model: str, batch_size: int) -> ChipService:
+        sim = self._simulator(chip_id)
+        workload = self._workloads[model]
+        if self._mode == "pipelined":
+            stream_key = (self._chip_keys[chip_id], model)
+            stream = self._stream_cache.get(stream_key)
+            if stream is None:
+                stream = sim.run_layer_pipelined(workload)
+                self._stream_cache[stream_key] = stream
+            latency = stream.fill_ns + (batch_size - 1) * stream.interval_ns
+            return ChipService(
+                latency_ns=latency, energy_pj=batch_size * stream.run.energy_pj
+            )
+        batch = sim.run_batch(workload, batch_size)
+        return ChipService(latency_ns=batch.latency_ns, energy_pj=batch.energy_pj)
+
+    # -- capacity-aware per-chip simulators ---------------------------------------
+    def _effective_spec(self, chip: ChipPlan) -> AcceleratorSpec:
+        """The chip's spec with capacity split among its resident models.
+
+        Co-resident models that fit share the weight capacity evenly, so
+        each one's replication budget shrinks accordingly; a chip whose set
+        overflows keeps the full capacity and pays streaming costs instead.
+        """
+        if len(chip.models) <= 1 or not chip.fits or chip.weight_bytes == 0:
+            return self._spec
+        return dataclasses.replace(
+            self._spec,
+            weight_capacity_bytes=self._spec.weight_capacity_bytes
+            // len(chip.models),
+        )
+
+    def _simulator(self, chip_id: int) -> ArchitectureSimulator:
+        chip = self._plan.chips[chip_id]
+        key = self._chip_keys[chip_id]
+        sim = self._simulators.get(key)
+        if sim is None:
+            sim = ArchitectureSimulator(
+                self._chip_specs[chip_id], weights_resident=chip.fits
+            )
+            self._simulators[key] = sim
+        return sim

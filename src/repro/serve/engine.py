@@ -1,0 +1,198 @@
+"""Deterministic discrete-event serving loop.
+
+Drives a request trace through per-model queues, the dynamic batcher and
+the cluster's chips.  Three event kinds exist — batch completion, request
+arrival, batching-window expiry — kept in one time-ordered heap with a
+monotonic sequence number as the final tiebreak, so two runs over the same
+(trace, cluster, policy) produce bit-identical results.  There is no
+wall-clock anywhere: all randomness lives in the trace generators.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from typing import Dict, List, Sequence, Tuple
+
+from repro.serve.batching import BatchingPolicy, ModelQueue
+from repro.serve.cluster import Cluster
+from repro.serve.traces import Request
+
+#: Event kinds, in same-timestamp processing order: completions free chips
+#: before new arrivals queue, which beat stale window timers.
+_COMPLETION, _ARRIVAL, _WINDOW = 0, 1, 2
+
+
+@dataclasses.dataclass(frozen=True)
+class ServedRequest:
+    """One request's journey through the cluster."""
+
+    request: Request
+    chip_id: int
+    batch_size: int
+    dispatch_ns: float
+    finish_ns: float
+    energy_pj: float  # this request's share of its batch's energy
+
+    @property
+    def latency_ns(self) -> float:
+        """Arrival-to-finish (queueing + batching + service)."""
+        return self.finish_ns - self.request.arrival_ns
+
+    @property
+    def queue_ns(self) -> float:
+        """Time spent waiting before the batch dispatched."""
+        return self.dispatch_ns - self.request.arrival_ns
+
+
+@dataclasses.dataclass(frozen=True)
+class ServingResult:
+    """Everything one simulation run produced."""
+
+    served: Tuple[ServedRequest, ...]
+    n_chips: int
+    chip_busy_ns: Tuple[float, ...]
+    makespan_ns: float  # first arrival epoch (t=0) to last batch completion
+    n_batches: int
+    policy: BatchingPolicy
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.served)
+
+    @property
+    def total_energy_pj(self) -> float:
+        return sum(s.energy_pj for s in self.served)
+
+    @property
+    def mean_batch_size(self) -> float:
+        if self.n_batches == 0:
+            return 0.0
+        return self.n_requests / self.n_batches
+
+    @property
+    def chip_utilization(self) -> Tuple[float, ...]:
+        """Busy fraction of each chip over the makespan."""
+        if self.makespan_ns <= 0:
+            return tuple(0.0 for _ in self.chip_busy_ns)
+        return tuple(b / self.makespan_ns for b in self.chip_busy_ns)
+
+    def for_model(self, model: str) -> Tuple[ServedRequest, ...]:
+        return tuple(s for s in self.served if s.request.model == model)
+
+    @property
+    def models(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for s in self.served:
+            if s.request.model not in seen:
+                seen.append(s.request.model)
+        return tuple(seen)
+
+
+class ServingEngine:
+    """Run request traces against a :class:`Cluster` under one policy."""
+
+    def __init__(self, cluster: Cluster, policy: BatchingPolicy = BatchingPolicy()) -> None:
+        self._cluster = cluster
+        self._policy = policy
+
+    @property
+    def cluster(self) -> Cluster:
+        return self._cluster
+
+    @property
+    def policy(self) -> BatchingPolicy:
+        return self._policy
+
+    def run(self, trace: Sequence[Request]) -> ServingResult:
+        """Simulate the whole trace to completion (closed horizon)."""
+        cluster, policy = self._cluster, self._policy
+        known = set(cluster.models)
+        for request in trace:
+            if request.model not in known:
+                raise ValueError(
+                    f"trace request for {request.model!r} but cluster hosts {sorted(known)}"
+                )
+        queues: Dict[str, ModelQueue] = {m: ModelQueue(m) for m in cluster.models}
+        model_order = tuple(cluster.models)
+        chip_free = [0.0] * cluster.n_chips
+        chip_busy = [0.0] * cluster.n_chips
+        served: List[ServedRequest] = []
+        n_batches = 0
+        makespan = 0.0
+
+        events: List[tuple] = []
+        seq = 0
+        for request in trace:
+            heapq.heappush(events, (request.arrival_ns, _ARRIVAL, seq, request))
+            seq += 1
+
+        def dispatch(now: float) -> None:
+            nonlocal seq, n_batches, makespan
+            while True:
+                # Oldest-waiting ready queue goes first (FCFS across models;
+                # model order only breaks exact arrival-time ties), so no
+                # model can starve another by list position.
+                best = None
+                for index, model in enumerate(model_order):
+                    queue = queues[model]
+                    if not len(queue):
+                        continue
+                    free = [
+                        c for c in cluster.chips_for(model) if chip_free[c] <= now
+                    ]
+                    if not free:
+                        continue  # all hosts busy; a completion event is pending
+                    if not queue.ready(now, policy):
+                        heapq.heappush(
+                            events,
+                            (queue.window_deadline_ns(policy), _WINDOW, seq, None),
+                        )
+                        seq += 1
+                        continue
+                    key = (queue.oldest_arrival_ns, index)
+                    if best is None or key < best[0]:
+                        best = (key, model, min(free))
+                if best is None:
+                    return
+                _, model, chip = best
+                batch = queues[model].pop_batch(now, policy)
+                cost = cluster.service(chip, model, batch.size)
+                finish = now + cost.latency_ns
+                chip_free[chip] = finish
+                chip_busy[chip] += cost.latency_ns
+                makespan = max(makespan, finish)
+                share = cost.energy_pj / batch.size
+                for request in batch.requests:
+                    served.append(
+                        ServedRequest(
+                            request=request,
+                            chip_id=chip,
+                            batch_size=batch.size,
+                            dispatch_ns=now,
+                            finish_ns=finish,
+                            energy_pj=share,
+                        )
+                    )
+                heapq.heappush(events, (finish, _COMPLETION, seq, None))
+                seq += 1
+                n_batches += 1
+
+        while events:
+            now, kind, _, payload = heapq.heappop(events)
+            if kind == _ARRIVAL:
+                queues[payload.model].push(payload)
+            dispatch(now)
+
+        leftover = sum(len(q) for q in queues.values())
+        if leftover:
+            raise RuntimeError(f"{leftover} requests never dispatched")
+        served.sort(key=lambda s: (s.request.arrival_ns, s.request.request_id))
+        return ServingResult(
+            served=tuple(served),
+            n_chips=cluster.n_chips,
+            chip_busy_ns=tuple(chip_busy),
+            makespan_ns=makespan,
+            n_batches=n_batches,
+            policy=policy,
+        )

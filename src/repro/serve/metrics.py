@@ -1,0 +1,179 @@
+"""Serving metrics: tail latency, SLO attainment, goodput, energy/request.
+
+Turns a :class:`repro.serve.engine.ServingResult` into the numbers a
+capacity-planning study reads — per-model latency percentiles, goodput
+against a latency SLO, per-chip utilization and energy per request — and
+renders them as the same aligned-ASCII report style the paper artifacts
+use (:mod:`repro.experiments.report`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence, Tuple
+
+from repro.experiments.report import format_table
+from repro.serve.cluster import Cluster
+from repro.serve.engine import ServingResult
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (numpy's default), dependency-free."""
+    if not values:
+        raise ValueError("cannot take a percentile of no samples")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("percentile must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q / 100.0 * (len(ordered) - 1)
+    lower = int(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    frac = rank - lower
+    return ordered[lower] * (1.0 - frac) + ordered[upper] * frac
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelServingStats:
+    """Latency/SLO/energy roll-up for one model's requests."""
+
+    model: str
+    n_requests: int
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_ms: float
+    max_ms: float
+    mean_batch_size: float
+    energy_per_request_uj: float
+    slo_ms: float
+    slo_attainment: float  # fraction of requests finishing within the SLO
+
+
+@dataclasses.dataclass(frozen=True)
+class ServingReport:
+    """Cluster-wide summary of one serving simulation."""
+
+    accelerator: str
+    n_chips: int
+    n_requests: int
+    n_batches: int
+    duration_s: float  # makespan: first arrival epoch to last completion
+    throughput_rps: float
+    goodput_rps: float  # completed-within-SLO requests per second
+    energy_per_request_uj: float
+    mean_batch_size: float
+    chip_utilization: Tuple[float, ...]
+    per_model: Tuple[ModelServingStats, ...]
+
+    @property
+    def slo_attainment(self) -> float:
+        if self.n_requests == 0:
+            return 1.0
+        met = sum(m.slo_attainment * m.n_requests for m in self.per_model)
+        return met / self.n_requests
+
+    @property
+    def mean_chip_utilization(self) -> float:
+        if not self.chip_utilization:
+            return 0.0
+        return sum(self.chip_utilization) / len(self.chip_utilization)
+
+
+def summarize(
+    result: ServingResult,
+    cluster: Cluster,
+    slo_ms: Optional[float] = None,
+    slo_multiple: float = 10.0,
+) -> ServingReport:
+    """Roll a simulation up into a :class:`ServingReport`.
+
+    The SLO defaults to ``slo_multiple`` times each model's batch-1 service
+    latency on its first hosting chip — the no-queueing floor — so it
+    scales sensibly from AlexNet to LLaMA without per-model tuning.
+    """
+    per_model = []
+    met_total = 0
+    for model in result.models:
+        served = result.for_model(model)
+        latencies_ms = [s.latency_ns * 1e-6 for s in served]
+        slo = (
+            slo_ms
+            if slo_ms is not None
+            else slo_multiple * cluster.reference_latency_ns(model) * 1e-6
+        )
+        met = sum(1 for latency in latencies_ms if latency <= slo)
+        met_total += met
+        energy_uj = sum(s.energy_pj for s in served) * 1e-6 / len(served)
+        batches = {(s.chip_id, s.dispatch_ns) for s in served}
+        per_model.append(
+            ModelServingStats(
+                model=model,
+                n_requests=len(served),
+                p50_ms=percentile(latencies_ms, 50),
+                p95_ms=percentile(latencies_ms, 95),
+                p99_ms=percentile(latencies_ms, 99),
+                mean_ms=sum(latencies_ms) / len(latencies_ms),
+                max_ms=max(latencies_ms),
+                mean_batch_size=len(served) / len(batches),
+                energy_per_request_uj=energy_uj,
+                slo_ms=slo,
+                slo_attainment=met / len(served),
+            )
+        )
+    duration_s = result.makespan_ns * 1e-9
+    throughput = result.n_requests / duration_s if duration_s > 0 else 0.0
+    goodput = met_total / duration_s if duration_s > 0 else 0.0
+    total_energy_uj = result.total_energy_pj * 1e-6
+    per_request_uj = (
+        total_energy_uj / result.n_requests if result.n_requests else 0.0
+    )
+    return ServingReport(
+        accelerator=cluster.spec.name,
+        n_chips=result.n_chips,
+        n_requests=result.n_requests,
+        n_batches=result.n_batches,
+        duration_s=duration_s,
+        throughput_rps=throughput,
+        goodput_rps=goodput,
+        energy_per_request_uj=per_request_uj,
+        mean_batch_size=result.mean_batch_size,
+        chip_utilization=result.chip_utilization,
+        per_model=tuple(per_model),
+    )
+
+
+def format_serving(report: ServingReport) -> str:
+    """Render a serving report in the artifact style of the repo."""
+    lines = [
+        f"cluster           : {report.n_chips} x {report.accelerator}",
+        f"requests served   : {report.n_requests} in {report.n_batches} batches "
+        f"(mean batch {report.mean_batch_size:.2f})",
+        f"simulated horizon : {report.duration_s * 1e3:.3f} ms",
+        f"throughput        : {report.throughput_rps:.1f} req/s",
+        f"goodput (in-SLO)  : {report.goodput_rps:.1f} req/s "
+        f"({100 * report.slo_attainment:.1f} % attainment)",
+        f"energy/request    : {report.energy_per_request_uj:.3f} uJ",
+        f"chip utilization  : mean {100 * report.mean_chip_utilization:.1f} %  "
+        + " ".join(f"[{100 * u:.0f}%]" for u in report.chip_utilization),
+        "",
+        format_table(
+            ("model", "reqs", "p50 ms", "p95 ms", "p99 ms", "mean ms",
+             "SLO ms", "attain", "uJ/req"),
+            [
+                (
+                    m.model,
+                    m.n_requests,
+                    f"{m.p50_ms:.4f}",
+                    f"{m.p95_ms:.4f}",
+                    f"{m.p99_ms:.4f}",
+                    f"{m.mean_ms:.4f}",
+                    f"{m.slo_ms:.4f}",
+                    f"{100 * m.slo_attainment:.1f}%",
+                    f"{m.energy_per_request_uj:.3f}",
+                )
+                for m in report.per_model
+            ],
+        ),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,186 @@
+"""Synthetic request-arrival traces for the serving simulator.
+
+Every generator produces a time-sorted tuple of :class:`Request` records —
+the only randomness in the whole serving stack lives here, behind an
+explicit seed, so a (trace, cluster, policy) triple replays bit-identically.
+
+Four traffic shapes cover the classic serving regimes:
+
+* :func:`poisson_trace` — memoryless arrivals at a constant mean rate, the
+  standard open-loop load model;
+* :func:`bursty_trace` — a two-state Markov-modulated Poisson process that
+  alternates burst/calm phases around the same mean rate (tail-latency
+  stressor);
+* :func:`diurnal_trace` — a sinusoidally-modulated rate via Lewis-Shedler
+  thinning (day/night traffic compressed into the simulated horizon);
+* :func:`uniform_trace` / :func:`fixed_trace` — deterministic, replayable
+  arrival lists for regression tests and apples-to-apples comparisons.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class Request:
+    """One inference request entering the cluster."""
+
+    request_id: int
+    model: str
+    arrival_ns: float
+
+    def __post_init__(self) -> None:
+        if not self.model:
+            raise ValueError("request model must be non-empty")
+        if self.arrival_ns < 0:
+            raise ValueError("arrival time must be non-negative")
+
+
+Trace = Tuple[Request, ...]
+
+
+def _package(model: str, arrivals_ns: Iterable[float]) -> Trace:
+    times = sorted(float(t) for t in arrivals_ns)
+    return tuple(
+        Request(request_id=i, model=model, arrival_ns=t)
+        for i, t in enumerate(times)
+    )
+
+
+def poisson_trace(model: str, rps: float, duration_s: float, seed: int = 0) -> Trace:
+    """Memoryless arrivals: exponential inter-arrival times at rate ``rps``."""
+    _check_rate(rps, duration_s)
+    rng = np.random.default_rng(seed)
+    horizon_ns = duration_s * 1e9
+    mean_gap_ns = 1e9 / rps
+    arrivals: List[float] = []
+    t = rng.exponential(mean_gap_ns)
+    while t < horizon_ns:
+        arrivals.append(t)
+        t += rng.exponential(mean_gap_ns)
+    return _package(model, arrivals)
+
+
+def bursty_trace(
+    model: str,
+    rps: float,
+    duration_s: float,
+    seed: int = 0,
+    burstiness: float = 0.8,
+    mean_dwell_s: float = 0.01,
+) -> Trace:
+    """Two-state Markov-modulated Poisson process around mean rate ``rps``.
+
+    The rate alternates between ``rps * (1 + burstiness)`` (burst) and
+    ``rps * (1 - burstiness)`` (calm) with exponentially distributed dwell
+    times, so the long-run mean stays ``rps`` while short windows see up to
+    ``1 + burstiness`` times the load.
+    """
+    _check_rate(rps, duration_s)
+    if not 0.0 <= burstiness < 1.0:
+        raise ValueError("burstiness must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    horizon_ns = duration_s * 1e9
+    dwell_ns = mean_dwell_s * 1e9
+    rates = (rps * (1.0 + burstiness), rps * (1.0 - burstiness))
+    arrivals: List[float] = []
+    t = 0.0
+    state = 0
+    while t < horizon_ns:
+        phase_end = min(horizon_ns, t + rng.exponential(dwell_ns))
+        rate = rates[state]
+        if rate > 0.0:
+            gap_ns = 1e9 / rate
+            t += rng.exponential(gap_ns)
+            while t < phase_end:
+                arrivals.append(t)
+                t += rng.exponential(gap_ns)
+        t = phase_end
+        state = 1 - state
+    return _package(model, arrivals)
+
+
+def diurnal_trace(
+    model: str,
+    rps: float,
+    duration_s: float,
+    seed: int = 0,
+    amplitude: float = 0.5,
+    period_s: float = 0.1,
+) -> Trace:
+    """Sinusoidal rate ``rps * (1 + amplitude * sin)`` via thinning.
+
+    Lewis-Shedler thinning: sample a homogeneous Poisson stream at the peak
+    rate and accept each arrival with probability ``rate(t) / peak``.  A
+    24-hour cycle is compressed into ``period_s`` of simulated time.
+    """
+    _check_rate(rps, duration_s)
+    if not 0.0 <= amplitude <= 1.0:
+        raise ValueError("amplitude must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    horizon_ns = duration_s * 1e9
+    peak = rps * (1.0 + amplitude)
+    gap_ns = 1e9 / peak
+    arrivals: List[float] = []
+    t = rng.exponential(gap_ns)
+    while t < horizon_ns:
+        rate = rps * (1.0 + amplitude * math.sin(2.0 * math.pi * t / (period_s * 1e9)))
+        if rng.random() <= rate / peak:
+            arrivals.append(t)
+        t += rng.exponential(gap_ns)
+    return _package(model, arrivals)
+
+
+def uniform_trace(model: str, rps: float, duration_s: float) -> Trace:
+    """Deterministic, evenly spaced arrivals — the replayable fixed load."""
+    _check_rate(rps, duration_s)
+    n = int(rps * duration_s)
+    gap_ns = 1e9 / rps
+    return _package(model, (gap_ns * (i + 1) for i in range(n)))
+
+
+def fixed_trace(model: str, arrivals_ns: Sequence[float]) -> Trace:
+    """Replay an explicit list of arrival times (nanoseconds)."""
+    return _package(model, arrivals_ns)
+
+
+def merge_traces(*traces: Trace) -> Trace:
+    """Interleave traces into one stream, re-numbering requests by time."""
+    merged = sorted(
+        (req for trace in traces for req in trace),
+        key=lambda r: (r.arrival_ns, r.model),
+    )
+    return tuple(
+        dataclasses.replace(req, request_id=i) for i, req in enumerate(merged)
+    )
+
+
+#: Named generators the CLI exposes via ``--trace``.
+TRACE_KINDS = ("poisson", "bursty", "diurnal", "uniform")
+
+
+def make_trace(
+    kind: str, model: str, rps: float, duration_s: float, seed: int = 0
+) -> Trace:
+    """Build a trace by name (the CLI/benchmark entry point)."""
+    if kind == "poisson":
+        return poisson_trace(model, rps, duration_s, seed=seed)
+    if kind == "bursty":
+        return bursty_trace(model, rps, duration_s, seed=seed)
+    if kind == "diurnal":
+        return diurnal_trace(model, rps, duration_s, seed=seed)
+    if kind == "uniform":
+        return uniform_trace(model, rps, duration_s)
+    raise ValueError(f"unknown trace kind {kind!r}; available: {TRACE_KINDS}")
+
+
+def _check_rate(rps: float, duration_s: float) -> None:
+    if rps <= 0:
+        raise ValueError("rps must be positive")
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")

@@ -1,0 +1,184 @@
+"""Edge cases of the streaming and batched execution modes.
+
+Exercises :class:`PipelinedRunResult` on synthetic one-layer and
+oversubscribed workloads (where the Fig. 8 models are too big to reason
+about by hand) and pins down the :meth:`ArchitectureSimulator.run_batch`
+contract the serving engine builds on.
+"""
+
+import pytest
+
+from repro.arch import AcceleratorSpec, ArchitectureSimulator
+from repro.models.workload import (
+    GemmShape,
+    LayerKind,
+    LayerSpec,
+    ModelKind,
+    WorkloadSpec,
+)
+
+
+def tiny_spec(n_units=4) -> AcceleratorSpec:
+    """A 64x64-grain pool small enough to oversubscribe on purpose."""
+    return AcceleratorSpec(
+        name="tiny",
+        unit_input_dim=64,
+        unit_output_dim=64,
+        unit_vmm_energy_pj=1.0,
+        unit_vmm_latency_ns=10.0,
+        n_units=n_units,
+        power_gating=False,
+        dynamic_write_pj_per_bit=0.001,
+        dynamic_write_ns_per_row=0.5,
+        weight_capacity_bytes=1 << 20,
+        edram_pj_per_bit=0.01,
+        noc_pj_per_bit=0.01,
+        offchip_pj_per_bit=1.0,
+        offchip_gbps=6.4,
+        area_mm2=1.0,
+    )
+
+
+def _fc(name, m=1, k=64, n=64, static=True) -> LayerSpec:
+    return LayerSpec(
+        name=name,
+        kind=LayerKind.FC,
+        gemm=GemmShape(m=m, k=k, n=n),
+        static_weights=static,
+    )
+
+
+def _workload(*layers) -> WorkloadSpec:
+    return WorkloadSpec(name="synthetic", kind=ModelKind.CNN, layers=tuple(layers))
+
+
+class TestPipelinedEdgeCases:
+    def test_empty_workload_is_unrepresentable(self):
+        """The streaming mode never sees zero layers: the spec refuses."""
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="empty", kind=ModelKind.CNN, layers=())
+
+    def test_one_layer_pipeline_degenerates(self):
+        """A single resident layer: fill == interval, so streaming equals
+        the sequential pass exactly (speedup 1)."""
+        sim = ArchitectureSimulator(tiny_spec())
+        stream = sim.run_layer_pipelined(_workload(_fc("only")))
+        assert stream.oversubscription == pytest.approx(1.0)
+        assert stream.fill_ns == pytest.approx(stream.interval_ns)
+        assert stream.speedup_over_sequential == pytest.approx(1.0)
+
+    def test_speedup_is_sum_over_max_without_oversubscription(self):
+        """oversubscription == 1.0 => the classic pipeline ratio."""
+        sim = ArchitectureSimulator(tiny_spec(n_units=4))
+        layers = (_fc("a", m=1), _fc("b", m=3), _fc("c", m=7))
+        stream = sim.run_layer_pipelined(_workload(*layers))
+        assert stream.oversubscription == pytest.approx(1.0)
+        latencies = [
+            sim.simulate_layer(layer, max_replicas=1).compute_latency_ns
+            for layer in layers
+        ]
+        assert stream.speedup_over_sequential == pytest.approx(
+            sum(latencies) / max(latencies)
+        )
+
+    def test_oversubscription_stretches_interval(self):
+        """16 tiles on a 4-unit pool time-share 4x: the issue interval
+        stretches by exactly the oversubscription factor."""
+        sim = ArchitectureSimulator(tiny_spec(n_units=4))
+        big = _fc("big", m=1, k=256, n=256)  # 4x4 = 16 tiles
+        stream = sim.run_layer_pipelined(_workload(big))
+        assert stream.oversubscription == pytest.approx(4.0)
+        solo = sim.simulate_layer(big, max_replicas=1).compute_latency_ns
+        assert stream.interval_ns == pytest.approx(4.0 * solo)
+        # Time-sharing makes streaming *worse* than the sequential pass.
+        assert stream.speedup_over_sequential == pytest.approx(0.25)
+
+    def test_overflow_streaming_bounds_the_interval(self):
+        """Under deployment-style accounting an overflowing layer's weight
+        stream shares the single off-chip link, so it serializes into both
+        the fill and the steady interval."""
+        sim = ArchitectureSimulator(tiny_spec(), weights_resident=False)
+        workload = _workload(
+            _fc("fits", k=64, n=64),
+            _fc("huge", m=1, k=2048, n=2048),  # 4 MB > 1 MB capacity
+        )
+        stream = sim.run_layer_pipelined(workload)
+        stream_ns = sum(l.data_latency_ns for l in stream.run.layers)
+        assert stream_ns > 0
+        resident = ArchitectureSimulator(tiny_spec()).run_layer_pipelined(workload)
+        assert stream.interval_ns >= stream_ns
+        assert stream.fill_ns == pytest.approx(resident.fill_ns + stream_ns)
+        # The default resident methodology is untouched (no data latency).
+        assert sum(l.data_latency_ns for l in resident.run.layers) == 0.0
+
+    def test_throughput_properties_consistent(self):
+        sim = ArchitectureSimulator(tiny_spec())
+        stream = sim.run_layer_pipelined(_workload(_fc("a"), _fc("b", m=2)))
+        assert stream.steady_inferences_per_second == pytest.approx(
+            1e9 / stream.interval_ns
+        )
+        assert stream.steady_throughput_tops == pytest.approx(
+            stream.run.total_ops / (stream.interval_ns * 1e-9) / 1e12
+        )
+
+
+class TestRunBatch:
+    def test_batch_one_equals_run_exactly(self):
+        """The serving-engine contract: run_batch(w, 1) IS run(w)."""
+        sim = ArchitectureSimulator(tiny_spec())
+        workload = _workload(_fc("a", m=5), _fc("dyn", m=2, static=False))
+        run = sim.run(workload)
+        batch = sim.run_batch(workload, 1)
+        assert batch.latency_ns == pytest.approx(run.latency_ns, rel=1e-12)
+        assert batch.energy_pj == pytest.approx(run.energy_pj, rel=1e-12)
+
+    def test_energy_linear_in_batch_size(self):
+        sim = ArchitectureSimulator(tiny_spec())
+        workload = _workload(_fc("a", m=5))
+        run = sim.run(workload)
+        for size in (2, 5, 16):
+            assert sim.run_batch(workload, size).energy_pj == pytest.approx(
+                size * run.energy_pj
+            )
+
+    def test_batching_amortizes_waves(self):
+        """Per-inference latency never grows with batch size, and strictly
+        shrinks while idle units can absorb more waves."""
+        sim = ArchitectureSimulator(tiny_spec(n_units=4))
+        workload = _workload(_fc("a", m=1))  # 1 tile on 4 replicable units
+        per_inference = [
+            sim.run_batch(workload, size).latency_per_inference_ns
+            for size in (1, 2, 4, 8)
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(per_inference, per_inference[1:]))
+        assert sim.run_batch(workload, 8).batching_speedup > 1.0
+
+    def test_dynamic_operands_do_not_amortize(self):
+        """A dynamic-only layer reprograms per inference: batching buys
+        nothing (speedup exactly 1)."""
+        sim = ArchitectureSimulator(tiny_spec())
+        workload = _workload(_fc("dyn", m=1, static=False))
+        batch = sim.run_batch(workload, 4)
+        assert batch.batching_speedup == pytest.approx(1.0)
+        assert batch.latency_ns == pytest.approx(4 * batch.run.latency_ns)
+
+    def test_invalid_batch_size(self):
+        sim = ArchitectureSimulator(tiny_spec())
+        with pytest.raises(ValueError):
+            sim.run_batch(_workload(_fc("a")), 0)
+
+    def test_public_capacity_hooks(self):
+        """The hooks the cluster planner consumes mirror the private logic."""
+        spec = tiny_spec()
+        resident = ArchitectureSimulator(spec, weights_resident=True)
+        streaming = ArchitectureSimulator(spec, weights_resident=False)
+        # 16 KB of weights in a 1 MB capacity -> 64 pinned copies.
+        workload = _workload(_fc("a", k=128, n=128))
+        assert resident.replication_budget(workload) == 64
+        assert resident.overflow_layers(workload) == set()
+        huge = _workload(
+            _fc("fits", k=64, n=64),
+            _fc("huge", m=1, k=2048, n=2048),  # 4 MB > 1 MB capacity
+        )
+        assert streaming.overflow_layers(huge) == {"huge"}
+        assert resident.overflow_layers(huge) == set()

@@ -20,6 +20,30 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig99"])
 
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--model", "resnet18", "--model", "vit",
+                "--chips", "8", "--rps", "500", "--trace", "bursty",
+                "--mode", "pipelined", "--placement", "partitioned",
+            ]
+        )
+        assert args.artifact == "serve"
+        assert args.model == ["resnet18", "vit"]
+        assert args.chips == 8 and args.rps == 500.0
+        assert args.trace == "bursty" and args.mode == "pipelined"
+        assert args.placement == "partitioned"
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.model is None
+        assert args.chips == 4 and args.rps == 2000.0
+        assert args.max_batch == 8 and args.slo_ms is None
+
+    def test_bad_trace_kind_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--trace", "sawtooth"])
+
 
 class TestFastArtifacts:
     @pytest.mark.parametrize(
@@ -51,3 +75,29 @@ class TestFastArtifacts:
     def test_fig6d_quick(self, capsys):
         assert main(["fig6d", "--quick"]) == 0
         assert "Monte-Carlo" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_acceptance_scenario_renders(self, capsys):
+        argv = ["serve", "--model", "resnet18", "--chips", "4",
+                "--rps", "2000", "--seed", "0"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        for token in ("Serving simulation", "4 x yoco", "p99 ms", "goodput",
+                      "energy/request", "chip utilization", "resnet18"):
+            assert token in out
+
+    def test_acceptance_scenario_deterministic(self, capsys):
+        argv = ["serve", "--model", "resnet18", "--chips", "4",
+                "--rps", "2000", "--seed", "0"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_defaults_match_explicit_acceptance_flags(self, capsys):
+        assert main(["serve"]) == 0
+        default = capsys.readouterr().out
+        assert main(["serve", "--model", "resnet18", "--chips", "4",
+                     "--rps", "2000", "--seed", "0"]) == 0
+        assert capsys.readouterr().out == default

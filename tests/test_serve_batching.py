@@ -1,0 +1,90 @@
+"""Dynamic batching policy and per-model queues."""
+
+import pytest
+
+from repro.serve import Batch, BatchingPolicy, ModelQueue, Request
+
+
+def _req(i, t, model="m"):
+    return Request(request_id=i, model=model, arrival_ns=t)
+
+
+class TestPolicy:
+    def test_defaults(self):
+        policy = BatchingPolicy()
+        assert policy.max_batch_size == 8
+        assert policy.window_ns == pytest.approx(200_000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchingPolicy(max_batch_size=0)
+        with pytest.raises(ValueError):
+            BatchingPolicy(window_ns=-1.0)
+
+
+class TestBatch:
+    def test_rejects_empty_and_mixed(self):
+        with pytest.raises(ValueError):
+            Batch(model="m", requests=(), dispatch_ns=0.0)
+        with pytest.raises(ValueError):
+            Batch(
+                model="m",
+                requests=(_req(0, 0.0), _req(1, 0.0, model="other")),
+                dispatch_ns=0.0,
+            )
+
+    def test_oldest_wait(self):
+        batch = Batch(
+            model="m", requests=(_req(0, 10.0), _req(1, 40.0)), dispatch_ns=100.0
+        )
+        assert batch.size == 2
+        assert batch.oldest_wait_ns == pytest.approx(90.0)
+
+
+class TestModelQueue:
+    def test_rejects_foreign_requests(self):
+        queue = ModelQueue("m")
+        with pytest.raises(ValueError):
+            queue.push(_req(0, 0.0, model="other"))
+
+    def test_empty_queue_is_never_ready(self):
+        queue = ModelQueue("m")
+        assert not queue.ready(1e9, BatchingPolicy())
+        with pytest.raises(IndexError):
+            queue.pop_batch(0.0, BatchingPolicy())
+        with pytest.raises(IndexError):
+            queue.oldest_arrival_ns
+
+    def test_full_batch_is_ready_immediately(self):
+        policy = BatchingPolicy(max_batch_size=2, window_ns=1e9)
+        queue = ModelQueue("m")
+        queue.push(_req(0, 0.0))
+        assert not queue.ready(0.0, policy)
+        queue.push(_req(1, 0.0))
+        assert queue.ready(0.0, policy)
+
+    def test_window_expiry_makes_partial_batch_ready(self):
+        policy = BatchingPolicy(max_batch_size=8, window_ns=100.0)
+        queue = ModelQueue("m")
+        queue.push(_req(0, 50.0))
+        assert not queue.ready(149.0, policy)
+        assert queue.ready(queue.window_deadline_ns(policy), policy)
+        assert queue.window_deadline_ns(policy) == pytest.approx(150.0)
+
+    def test_zero_window_disables_batching_delay(self):
+        policy = BatchingPolicy(max_batch_size=8, window_ns=0.0)
+        queue = ModelQueue("m")
+        queue.push(_req(0, 5.0))
+        assert queue.ready(5.0, policy)
+
+    def test_pop_is_fifo_and_capped(self):
+        policy = BatchingPolicy(max_batch_size=2, window_ns=0.0)
+        queue = ModelQueue("m")
+        for i in range(3):
+            queue.push(_req(i, float(i)))
+        batch = queue.pop_batch(10.0, policy)
+        assert [r.request_id for r in batch.requests] == [0, 1]
+        assert batch.dispatch_ns == 10.0
+        assert len(queue) == 1
+        rest = queue.pop_batch(11.0, policy)
+        assert [r.request_id for r in rest.requests] == [2]

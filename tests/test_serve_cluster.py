@@ -1,0 +1,148 @@
+"""Cluster planning (placement, capacity) and per-chip service costs."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch import ArchitectureSimulator, yoco_spec
+from repro.models import get_workload
+from repro.serve import Cluster, plan_cluster
+
+
+@pytest.fixture(scope="module")
+def resnet():
+    return get_workload("resnet18")
+
+
+@pytest.fixture(scope="module")
+def llama():
+    return get_workload("llama3_7b")
+
+
+class TestPlanning:
+    def test_replicated_puts_every_model_everywhere(self, resnet, llama):
+        plan = plan_cluster([resnet, llama], n_chips=3, spec=yoco_spec())
+        for chip in plan.chips:
+            assert chip.models == ("resnet18", "llama3_7b")
+        assert plan.placements["resnet18"] == (0, 1, 2)
+
+    def test_partitioned_separates_heavy_models(self, resnet, llama):
+        plan = plan_cluster(
+            [resnet, llama], n_chips=2, spec=yoco_spec(), placement="partitioned"
+        )
+        hosts = plan.placements
+        assert hosts["llama3_7b"] != hosts["resnet18"]
+        assert len(hosts["llama3_7b"]) == 1 and len(hosts["resnet18"]) == 1
+
+    def test_partitioned_replicates_hot_models_onto_idle_chips(self, resnet):
+        plan = plan_cluster(
+            [resnet], n_chips=4, spec=yoco_spec(), placement="partitioned"
+        )
+        assert plan.placements["resnet18"] == (0, 1, 2, 3)
+
+    def test_capacity_awareness(self, resnet, llama):
+        spec = yoco_spec()
+        plan = plan_cluster(
+            [resnet, llama], n_chips=2, spec=spec, placement="partitioned"
+        )
+        fits = {m: plan.chips[hosts[0]].fits for m, hosts in plan.placements.items()}
+        # ResNet-18 (~11 MB) fits the 134 MB SIMA capacity; LLaMA-7B does not.
+        assert fits["resnet18"]
+        assert not fits["llama3_7b"]
+        assert llama.total_weight_bytes > spec.weight_capacity_bytes
+
+    def test_validation(self, resnet):
+        with pytest.raises(ValueError):
+            plan_cluster([resnet], n_chips=0, spec=yoco_spec())
+        with pytest.raises(ValueError):
+            plan_cluster([], n_chips=1, spec=yoco_spec())
+        with pytest.raises(ValueError):
+            plan_cluster([resnet, resnet], n_chips=1, spec=yoco_spec())
+        with pytest.raises(ValueError):
+            plan_cluster([resnet], n_chips=1, spec=yoco_spec(), placement="magic")
+
+
+class TestServiceCosts:
+    def test_batch_one_matches_single_inference_roll_up(self, resnet):
+        cluster = Cluster([resnet], n_chips=2)
+        run = ArchitectureSimulator(yoco_spec()).run(resnet)
+        cost = cluster.service(0, "resnet18", 1)
+        assert cost.latency_ns == pytest.approx(run.latency_ns)
+        assert cost.energy_pj == pytest.approx(run.energy_pj)
+
+    def test_energy_linear_latency_sublinear(self, resnet):
+        cluster = Cluster([resnet], n_chips=1)
+        one = cluster.service(0, "resnet18", 1)
+        eight = cluster.service(0, "resnet18", 8)
+        assert eight.energy_pj == pytest.approx(8 * one.energy_pj)
+        assert eight.latency_ns < 8 * one.latency_ns
+
+    def test_overflowing_chip_pays_streaming_costs(self, llama):
+        cluster = Cluster([llama], n_chips=1)
+        resident = ArchitectureSimulator(yoco_spec(), weights_resident=True).run(llama)
+        streaming = ArchitectureSimulator(yoco_spec(), weights_resident=False).run(
+            llama
+        )
+        cost = cluster.service(0, "llama3_7b", 1)
+        assert cost.energy_pj == pytest.approx(streaming.energy_pj)
+        assert cost.energy_pj > resident.energy_pj
+
+    def test_colocated_models_split_capacity(self, resnet):
+        """Two models sharing a die halve each other's replication budget."""
+        alex = get_workload("alexnet")
+        shared = Cluster([resnet, alex], n_chips=1)
+        alone = Cluster([resnet], n_chips=1)
+        spec = yoco_spec()
+        halved = dataclasses.replace(
+            spec, weight_capacity_bytes=spec.weight_capacity_bytes // 2
+        )
+        expected = ArchitectureSimulator(halved).run(resnet)
+        assert shared.service(0, "resnet18", 1).latency_ns == pytest.approx(
+            expected.latency_ns
+        )
+        assert shared.service(0, "resnet18", 1).latency_ns >= alone.service(
+            0, "resnet18", 1
+        ).latency_ns
+
+    def test_pipelined_overflow_is_bounded_by_offchip_link(self, resnet):
+        """A pipelined chip whose model overflows capacity cannot finish
+        inferences faster than it can re-stream the overflow weights."""
+        gpt = get_workload("gpt_large")
+        cluster = Cluster([gpt], n_chips=1, mode="pipelined")
+        streaming = ArchitectureSimulator(yoco_spec(), weights_resident=False).run(
+            gpt
+        )
+        stream_ns = sum(l.data_latency_ns for l in streaming.layers)
+        assert stream_ns > 0
+        cost = cluster.service(0, "gpt_large", 2)
+        # fill (>= one full stream) plus one steady interval (>= one stream).
+        assert cost.latency_ns >= 2 * stream_ns
+
+    def test_pipelined_mode_uses_fill_plus_intervals(self, resnet):
+        cluster = Cluster([resnet], n_chips=1, mode="pipelined")
+        stream = ArchitectureSimulator(yoco_spec()).run_layer_pipelined(resnet)
+        cost = cluster.service(0, "resnet18", 4)
+        assert cost.latency_ns == pytest.approx(
+            stream.fill_ns + 3 * stream.interval_ns
+        )
+        assert cost.energy_pj == pytest.approx(4 * stream.run.energy_pj)
+
+    def test_service_rejects_non_hosting_chip(self, resnet, llama):
+        cluster = Cluster(
+            [resnet, llama], n_chips=2, placement="partitioned"
+        )
+        resnet_chip = cluster.chips_for("resnet18")[0]
+        other = 1 - resnet_chip
+        with pytest.raises(ValueError):
+            cluster.service(other, "resnet18", 1)
+
+    def test_unknown_mode_rejected(self, resnet):
+        with pytest.raises(ValueError):
+            Cluster([resnet], n_chips=1, mode="warp")
+
+    def test_reference_latency_is_batch_one(self, resnet):
+        cluster = Cluster([resnet], n_chips=3)
+        chip = cluster.chips_for("resnet18")[0]
+        assert cluster.reference_latency_ns("resnet18") == pytest.approx(
+            cluster.service(chip, "resnet18", 1).latency_ns
+        )

@@ -1,0 +1,111 @@
+"""Serving metrics: percentiles, SLO/goodput accounting, report format."""
+
+import pytest
+
+from repro.models import get_workload
+from repro.serve import (
+    BatchingPolicy,
+    Cluster,
+    ServingEngine,
+    format_serving,
+    percentile,
+    summarize,
+    uniform_trace,
+)
+
+
+class TestPercentile:
+    def test_interpolates_linearly(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(values, 0) == 10.0
+        assert percentile(values, 100) == 40.0
+        assert percentile(values, 50) == pytest.approx(25.0)
+        assert percentile(values, 75) == pytest.approx(32.5)
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_single_sample(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    """A fully deterministic scenario: uniform arrivals, FIFO serving."""
+    cluster = Cluster([get_workload("resnet18")], n_chips=2)
+    policy = BatchingPolicy(max_batch_size=1, window_ns=0.0)
+    trace = uniform_trace("resnet18", rps=1000, duration_s=0.02)
+    result = ServingEngine(cluster, policy).run(trace)
+    return cluster, result
+
+
+class TestSummarize:
+    def test_counts(self, small_run):
+        cluster, result = small_run
+        report = summarize(result, cluster)
+        assert report.n_requests == 20
+        assert report.n_batches == 20
+        assert report.mean_batch_size == pytest.approx(1.0)
+        assert report.n_chips == 2
+        assert report.accelerator == "yoco"
+
+    def test_unqueued_latency_equals_service_time(self, small_run):
+        """At 1000 req/s a chip that serves in ~0.04 ms never queues, so
+        every latency percentile collapses onto the service latency."""
+        cluster, result = small_run
+        report = summarize(result, cluster)
+        stats = report.per_model[0]
+        service_ms = cluster.reference_latency_ns("resnet18") * 1e-6
+        assert stats.p50_ms == pytest.approx(service_ms)
+        assert stats.p99_ms == pytest.approx(service_ms)
+        assert stats.max_ms == pytest.approx(service_ms)
+
+    def test_throughput_equals_offered_load_when_unsaturated(self, small_run):
+        cluster, result = small_run
+        report = summarize(result, cluster)
+        assert report.throughput_rps == pytest.approx(1000.0, rel=0.05)
+        assert report.goodput_rps == pytest.approx(report.throughput_rps)
+
+    def test_default_slo_is_multiple_of_service_floor(self, small_run):
+        cluster, result = small_run
+        report = summarize(result, cluster, slo_multiple=10.0)
+        stats = report.per_model[0]
+        assert stats.slo_ms == pytest.approx(
+            10.0 * cluster.reference_latency_ns("resnet18") * 1e-6
+        )
+
+    def test_utilization_reflects_busy_fraction(self, small_run):
+        cluster, result = small_run
+        report = summarize(result, cluster)
+        expected = sum(result.chip_busy_ns) / (
+            result.makespan_ns * len(result.chip_busy_ns)
+        )
+        assert report.mean_chip_utilization == pytest.approx(expected)
+
+
+class TestFormat:
+    def test_report_carries_headline_numbers(self, small_run):
+        cluster, result = small_run
+        text = format_serving(summarize(result, cluster))
+        for token in (
+            "cluster",
+            "2 x yoco",
+            "goodput",
+            "energy/request",
+            "chip utilization",
+            "p99 ms",
+            "resnet18",
+        ):
+            assert token in text
+
+    def test_format_is_deterministic(self, small_run):
+        cluster, result = small_run
+        a = format_serving(summarize(result, cluster))
+        b = format_serving(summarize(result, cluster))
+        assert a == b
