@@ -9,8 +9,14 @@ paper derives.  The load sweep walks offered traffic up until the weakest
 design saturates, which is where serving metrics separate architectures
 far more dramatically than the paper's single-inference geomeans.
 
-Run:  python examples/serving_campaign.py [model] [chips]
+An optional third argument draws per-request context lengths for LLM
+models (any of the `repro.serve` seqlen distributions); the table then
+adds token goodput and padding overhead, still under identical traffic
+*and* identical context lengths for every accelerator.
+
+Run:  python examples/serving_campaign.py [model] [chips] [seqlen_dist]
       (defaults: resnet18 on 4 chips; try vit, qdqbert, gpt_large, ...)
+      e.g. python examples/serving_campaign.py gpt_large 4 lognormal
 """
 
 import sys
@@ -18,7 +24,7 @@ import sys
 from repro.baselines import isaac_spec, raella_spec, timely_spec
 from repro.experiments.report import format_ratio, format_table, section
 from repro.models import BENCHMARK_MODELS
-from repro.serve import simulate_serving
+from repro.serve import SEQLEN_DISTS, simulate_serving
 
 SPECS = {
     "yoco": None,  # simulate_serving defaults to the YOCO spec
@@ -28,12 +34,13 @@ SPECS = {
 }
 
 
-def campaign(model: str, chips: int, rps: float, seed: int = 0):
+def campaign(model: str, chips: int, rps: float, seed: int = 0, seqlen_dist=None):
     """One load point: every accelerator serves the identical trace."""
     rows = {}
     for name, spec in SPECS.items():
         report, _ = simulate_serving(
-            [model], n_chips=chips, rps=rps, seed=seed, spec=spec
+            [model], n_chips=chips, rps=rps, seed=seed, spec=spec,
+            seqlen_dist=seqlen_dist,
         )
         rows[name] = report
     return rows
@@ -42,8 +49,13 @@ def campaign(model: str, chips: int, rps: float, seed: int = 0):
 def main() -> None:
     model = sys.argv[1] if len(sys.argv) > 1 else "resnet18"
     chips = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    seqlen_dist = sys.argv[3] if len(sys.argv) > 3 else None
     if model not in BENCHMARK_MODELS:
         raise SystemExit(f"unknown model {model!r}; pick from {BENCHMARK_MODELS}")
+    if seqlen_dist is not None and seqlen_dist not in SEQLEN_DISTS:
+        raise SystemExit(
+            f"unknown seqlen dist {seqlen_dist!r}; pick from {SEQLEN_DISTS}"
+        )
 
     # Anchor the sweep on YOCO's batch-1 service rate for the model
     # (window off so queueing and batching delay don't pollute the anchor).
@@ -58,29 +70,37 @@ def main() -> None:
     print(f"YOCO batch-1 service: {service_ms:.3f} ms "
           f"=> ~{peak_rps:.0f} req/s cluster ceiling\n")
 
+    if seqlen_dist:
+        print(f"per-request contexts: {seqlen_dist} around the native length\n")
+
     for fraction in (0.2, 0.6, 1.2):
         rps = fraction * peak_rps
-        rows = campaign(model, chips, rps)
+        rows = campaign(model, chips, rps, seqlen_dist=seqlen_dist)
         print(f"--- offered load {rps:.0f} req/s "
               f"({100 * fraction:.0f} % of YOCO ceiling) ---")
-        print(
-            format_table(
-                ("accelerator", "p50 ms", "p99 ms", "goodput req/s",
-                 "SLO attain", "uJ/req", "mean util"),
-                [
-                    (
-                        name,
-                        f"{r.per_model[0].p50_ms:.3f}",
-                        f"{r.per_model[0].p99_ms:.3f}",
-                        f"{r.goodput_rps:.0f}",
-                        f"{100 * r.slo_attainment:.1f}%",
-                        f"{r.energy_per_request_uj:.2f}",
-                        f"{100 * r.mean_chip_utilization:.0f}%",
-                    )
-                    for name, r in rows.items()
-                ],
-            )
-        )
+        if any(not r.per_model for r in rows.values()):
+            print("(load too low for the simulated horizon — no arrivals)\n")
+            continue
+        has_tokens = any(r.has_tokens for r in rows.values())
+        header = ["accelerator", "p50 ms", "p99 ms", "goodput req/s",
+                  "SLO attain", "uJ/req", "mean util"]
+        if has_tokens:
+            header += ["tok/s", "pad%"]
+        body = []
+        for name, r in rows.items():
+            row = [
+                name,
+                f"{r.per_model[0].p50_ms:.3f}",
+                f"{r.per_model[0].p99_ms:.3f}",
+                f"{r.goodput_rps:.0f}",
+                f"{100 * r.slo_attainment:.1f}%",
+                f"{r.energy_per_request_uj:.2f}",
+                f"{100 * r.mean_chip_utilization:.0f}%",
+            ]
+            if has_tokens:
+                row += [f"{r.tokens_per_s:.0f}", f"{100 * r.padding_overhead:.1f}%"]
+            body.append(tuple(row))
+        print(format_table(tuple(header), body))
         yoco, isaac = rows["yoco"], rows["isaac"]
         print(
             f"YOCO vs ISAAC: "

@@ -269,7 +269,11 @@ class ArchitectureSimulator:
                 weight_bits = layer.weight_bytes * 8
                 offchip_pj = weight_bits * spec.offchip_pj_per_bit
             latency += max(compute_ns, cost.data_latency_ns)
-            energy += batch_size * (cost.energy_pj - offchip_pj) + offchip_pj
+            # B*e - (B-1)*o, not B*(e-o)+o: algebraically identical, but
+            # this form collapses to exactly ``cost.energy_pj`` at B=1, so
+            # the run_batch(w, 1) == run(w) contract is exact by
+            # construction instead of by floating-point coincidence.
+            energy += batch_size * cost.energy_pj - (batch_size - 1) * offchip_pj
         return BatchRunResult(
             run=run,
             batch_size=batch_size,

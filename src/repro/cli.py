@@ -15,6 +15,8 @@ batched multi-chip cluster:
 
     python -m repro serve --model resnet18 --chips 4 --rps 2000 --seed 0
     python -m repro serve --model llama3_7b --chips 8 --rps 50 --trace bursty
+    python -m repro serve --model gpt_large --chips 2 --rps 40 \
+        --seqlen-dist lognormal --seqlen-buckets 256,512,1024,2048
 """
 
 from __future__ import annotations
@@ -42,10 +44,33 @@ from repro.experiments.report import section
 from repro.serve import (
     MODES,
     PLACEMENTS,
+    SEQLEN_DISTS,
     TRACE_KINDS,
     format_serving,
     simulate_serving,
 )
+
+
+def _parse_buckets(text: Optional[str]) -> Optional[List[int]]:
+    """'256,512,1024' -> [256, 512, 1024]."""
+    if text is None:
+        return None
+    try:
+        buckets = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(
+            f"--seqlen-buckets must be comma-separated integers, got {text!r}"
+        ) from None
+    if not buckets:
+        raise SystemExit("--seqlen-buckets must name at least one boundary")
+    if any(b < 1 for b in buckets) or any(
+        a >= b for a, b in zip(buckets, buckets[1:])
+    ):
+        raise SystemExit(
+            f"--seqlen-buckets must be strictly ascending positive "
+            f"boundaries, got {text!r}"
+        )
+    return buckets
 
 
 def _serve(args: argparse.Namespace) -> str:
@@ -62,11 +87,19 @@ def _serve(args: argparse.Namespace) -> str:
         max_batch_size=args.max_batch,
         window_ms=args.window_ms,
         slo_ms=args.slo_ms,
+        seqlen_dist=args.seqlen_dist,
+        seqlen_mean=args.seqlen_mean,
+        seqlen_buckets=_parse_buckets(args.seqlen_buckets),
     )
     header = (
         f"traffic           : {','.join(models)} @ {args.rps:g} req/s "
         f"({args.trace}, {args.duration:g} s horizon, seed {args.seed})"
     )
+    if args.seqlen_dist:
+        mean = args.seqlen_mean if args.seqlen_mean else "native"
+        header += (
+            f"\nsequence lengths  : {args.seqlen_dist} (mean {mean})"
+        )
     return header + "\n" + format_serving(report)
 
 
@@ -202,6 +235,27 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="latency SLO in ms (default: 10x the batch-1 service latency)",
+    )
+    serve.add_argument(
+        "--seqlen-dist",
+        choices=SEQLEN_DISTS,
+        default=None,
+        help="per-request sequence-length distribution for LLM workloads "
+        "(CNNs are unaffected; default: every request at the native length)",
+    )
+    serve.add_argument(
+        "--seqlen-mean",
+        type=int,
+        default=None,
+        help="mean of the sequence-length distribution "
+        "(default: the model's native sequence length)",
+    )
+    serve.add_argument(
+        "--seqlen-buckets",
+        type=str,
+        default=None,
+        help="comma-separated padding boundaries for seqlen bucketing, e.g. "
+        "256,512,1024 (default: power-of-two buckets covering the samples)",
     )
     serve.add_argument(
         "--mode",

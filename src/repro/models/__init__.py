@@ -7,6 +7,7 @@ from repro.models.workload import (
     LayerSpec,
     ModelKind,
     WorkloadSpec,
+    at_seq_len,
     conv_layer,
     fc_layer,
     transformer_block_layers,
@@ -29,6 +30,7 @@ __all__ = [
     "TRANSFORMER_MODELS",
     "WorkloadSpec",
     "all_workloads",
+    "at_seq_len",
     "conv_layer",
     "fc_layer",
     "get_workload",

@@ -249,3 +249,57 @@ def merge_layers(groups: Iterable[List[LayerSpec]]) -> Tuple[LayerSpec, ...]:
     for group in groups:
         merged.extend(group)
     return tuple(merged)
+
+
+def _layer_at_seq_len(layer: LayerSpec, old_seq: int, new_seq: int) -> LayerSpec:
+    """Rebuild one layer's GEMM for a different token count.
+
+    The substitution is driven by the layer *kind*, never by matching
+    dimension values — MobileBERT's hidden width equals its sequence
+    length, so a value-based rewrite would corrupt weight shapes:
+
+    * projections / FFNs process one row per token (``m`` is the token
+      axis; ``k``/``n`` are trained-weight shapes and must not change);
+    * attention score is ``(seq x head_dim) @ (head_dim x seq)``;
+    * attention context is ``(seq x seq) @ (seq x head_dim)``;
+    * convolutions and classifier heads (``m == 1``) carry no token axis.
+    """
+    gemm = layer.gemm
+    if layer.kind in (LayerKind.PROJECTION, LayerKind.FFN):
+        if gemm.m != old_seq:
+            return layer
+        new_gemm = GemmShape(m=new_seq, k=gemm.k, n=gemm.n)
+    elif layer.kind == LayerKind.ATTENTION_SCORE:
+        new_gemm = GemmShape(m=new_seq, k=gemm.k, n=new_seq)
+    elif layer.kind == LayerKind.ATTENTION_CONTEXT:
+        new_gemm = GemmShape(m=new_seq, k=new_seq, n=gemm.n)
+    else:
+        return layer
+    return dataclasses.replace(layer, gemm=new_gemm)
+
+
+def at_seq_len(workload: WorkloadSpec, seq_len: int) -> WorkloadSpec:
+    """Re-derive a transformer workload at a different sequence length.
+
+    Token-axis GEMM dimensions scale with ``seq_len`` while every trained
+    weight shape stays put, so ``total_weight_bytes`` (and with it the
+    placement / replication / overflow behavior of the serving cluster) is
+    invariant across sequence lengths — only compute, activation traffic
+    and the dynamic attention operands grow.  CNN workloads and the native
+    sequence length return the workload unchanged (identity), which is the
+    bit-exactness guarantee the serving layer's fixed-seqlen path rides on.
+    """
+    if seq_len < 0:
+        raise ValueError(f"seq_len must be non-negative, got {seq_len}")
+    if (
+        seq_len == 0
+        or workload.kind != ModelKind.TRANSFORMER
+        or workload.seq_len == 0
+        or seq_len == workload.seq_len
+    ):
+        return workload
+    layers = tuple(
+        _layer_at_seq_len(layer, workload.seq_len, seq_len)
+        for layer in workload.layers
+    )
+    return dataclasses.replace(workload, layers=layers, seq_len=seq_len)

@@ -10,6 +10,16 @@ chip utilization and energy per request.
     report, _ = simulate_serving(["resnet18"], n_chips=4, rps=2000, seed=0)
     print(format_serving(report))
 
+LLM traffic is sequence-length aware: pass ``seqlen_dist`` to draw a
+per-request context length for every transformer request (CNNs are
+untouched), and the batcher buckets same-length requests together so a
+batch pads only to its bucket boundary — the report then adds tokens/s,
+energy per token, and the padding overhead:
+
+    report, _ = simulate_serving(
+        ["gpt_large"], n_chips=2, rps=40, seqlen_dist="lognormal", seed=0
+    )
+
 The same entry point backs ``python -m repro serve`` and the
 ``benchmarks/bench_serving.py`` suite.
 """
@@ -20,7 +30,13 @@ from typing import Optional, Sequence, Tuple
 
 from repro.arch.accelerator import AcceleratorSpec
 from repro.models.zoo import get_workload
-from repro.serve.batching import Batch, BatchingPolicy, ModelQueue
+from repro.serve.batching import (
+    Batch,
+    BatchingPolicy,
+    ModelQueue,
+    bucket_for,
+    default_buckets,
+)
 from repro.serve.cluster import (
     Cluster,
     ChipPlan,
@@ -40,14 +56,21 @@ from repro.serve.metrics import (
 )
 from repro.serve.traces import (
     Request,
+    SEQLEN_DISTS,
     TRACE_KINDS,
     bursty_trace,
     diurnal_trace,
+    fixed_seqlens,
     fixed_trace,
+    lognormal_seqlens,
+    longtail_seqlens,
     make_trace,
     merge_traces,
     poisson_trace,
+    sample_seqlens,
+    uniform_seqlens,
     uniform_trace,
+    with_seqlens,
 )
 
 __all__ = [
@@ -62,24 +85,37 @@ __all__ = [
     "ModelServingStats",
     "PLACEMENTS",
     "Request",
+    "SEQLEN_DISTS",
     "ServedRequest",
     "ServingEngine",
     "ServingReport",
     "ServingResult",
     "TRACE_KINDS",
+    "bucket_for",
     "bursty_trace",
+    "default_buckets",
     "diurnal_trace",
+    "fixed_seqlens",
     "fixed_trace",
     "format_serving",
+    "lognormal_seqlens",
+    "longtail_seqlens",
     "make_trace",
     "merge_traces",
     "percentile",
     "plan_cluster",
     "poisson_trace",
+    "sample_seqlens",
     "simulate_serving",
     "summarize",
+    "uniform_seqlens",
     "uniform_trace",
+    "with_seqlens",
 ]
+
+#: Seed offset separating the seqlen streams from the arrival streams, so
+#: attaching sequence lengths never perturbs any model's arrival times.
+_SEQLEN_SEED_OFFSET = 100_003
 
 
 def simulate_serving(
@@ -95,28 +131,73 @@ def simulate_serving(
     max_batch_size: int = 8,
     window_ms: float = 0.2,
     slo_ms: Optional[float] = None,
+    seqlen_dist: Optional[str] = None,
+    seqlen_mean: Optional[int] = None,
+    seqlen_buckets: Optional[Sequence[int]] = None,
 ) -> Tuple[ServingReport, ServingResult]:
     """End-to-end serving run: build trace + cluster, simulate, summarize.
 
     Offered load ``rps`` is split evenly across ``models``; each model's
     sub-trace draws from its own seeded stream so adding a model never
     perturbs another's arrivals.
+
+    ``seqlen_dist`` (one of :data:`SEQLEN_DISTS`) attaches a per-request
+    sequence length to every transformer request, drawn around
+    ``seqlen_mean`` (default: the model's native length) from a stream
+    disjoint from the arrival seeds.  ``seqlen_buckets`` sets the
+    batcher's padding boundaries explicitly, and its largest boundary acts
+    as the serving max context — longer samples are clamped to it, the way
+    a real endpoint truncates over-limit prompts.  By default power-of-two
+    buckets covering the sampled lengths are derived automatically
+    whenever a distribution is active.  CNN workloads carry no sequence
+    length and are unaffected by all three knobs.
     """
     if not models:
         raise ValueError("need at least one model to serve")
+    if seqlen_dist is not None and seqlen_dist not in SEQLEN_DISTS:
+        raise ValueError(
+            f"unknown seqlen dist {seqlen_dist!r}; available: {SEQLEN_DISTS}"
+        )
     workloads = [get_workload(name) for name in models]
     per_model_rps = rps / len(models)
-    trace = merge_traces(
-        *(
-            make_trace(trace_kind, name, per_model_rps, duration_s, seed=seed + i)
-            for i, name in enumerate(models)
-        )
+    max_context = (
+        int(max(seqlen_buckets)) if seqlen_buckets else None
     )
+    sub_traces = []
+    max_sampled = 0
+    for i, (name, workload) in enumerate(zip(models, workloads)):
+        sub = make_trace(
+            trace_kind, name, per_model_rps, duration_s, seed=seed + i
+        )
+        if seqlen_dist is not None and workload.seq_len > 0:
+            mean = seqlen_mean if seqlen_mean else workload.seq_len
+            lens = sample_seqlens(
+                seqlen_dist,
+                len(sub),
+                mean,
+                seed=seed + _SEQLEN_SEED_OFFSET + i,
+                trace_kind=trace_kind,
+            )
+            if max_context is not None:
+                lens = tuple(min(s, max_context) for s in lens)
+            sub = with_seqlens(sub, lens)
+            if lens:
+                max_sampled = max(max_sampled, max(lens))
+        sub_traces.append(sub)
+    trace = merge_traces(*sub_traces)
+    if seqlen_buckets is not None:
+        buckets = tuple(int(b) for b in seqlen_buckets)
+    elif max_sampled:
+        buckets = default_buckets(max_sampled)
+    else:
+        buckets = ()
     cluster = Cluster(
         workloads, n_chips=n_chips, spec=spec, mode=mode, placement=placement
     )
     policy = BatchingPolicy(
-        max_batch_size=max_batch_size, window_ns=window_ms * 1e6
+        max_batch_size=max_batch_size,
+        window_ns=window_ms * 1e6,
+        seqlen_buckets=buckets,
     )
     result = ServingEngine(cluster, policy).run(trace)
     report = summarize(result, cluster, slo_ms=slo_ms)

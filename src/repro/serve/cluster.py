@@ -33,7 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.arch.accelerator import AcceleratorSpec, yoco_spec
 from repro.arch.simulator import ArchitectureSimulator
-from repro.models.workload import WorkloadSpec
+from repro.models.workload import WorkloadSpec, at_seq_len
 
 PLACEMENTS = ("replicated", "partitioned")
 MODES = ("batched", "pipelined")
@@ -138,6 +138,13 @@ class Cluster:
     which chips may host a model (:meth:`chips_for`) and what a size-``B``
     batch costs on a given chip (:meth:`service`).  All costs are cached —
     the discrete-event loop stays free of simulator calls.
+
+    For LLM traffic the oracle is sequence-length aware: ``service`` takes
+    the (bucket) sequence length the batch runs at, and the cost table is
+    built per (model, bucket) by re-deriving the transformer workload at
+    that length (:meth:`workload_at`) — weight footprints are invariant
+    under the re-derivation, so placement and capacity accounting never
+    change across buckets.
     """
 
     def __init__(
@@ -164,8 +171,14 @@ class Cluster:
             for spec, chip in zip(self._chip_specs, self._plan.chips)
         )
         self._simulators: Dict[Tuple[int, bool], ArchitectureSimulator] = {}
-        self._service_cache: Dict[Tuple[Tuple[int, bool], str, int], ChipService] = {}
-        self._stream_cache: Dict[Tuple[Tuple[int, bool], str], object] = {}
+        self._service_cache: Dict[
+            Tuple[Tuple[int, bool], str, int, int], ChipService
+        ] = {}
+        self._stream_cache: Dict[Tuple[Tuple[int, bool], str, int], object] = {}
+        # Workloads re-derived per sequence length, shared across chips —
+        # a bucketed LLM run costs one derivation per (model, bucket), not
+        # one per batch.
+        self._seqlen_workloads: Dict[Tuple[str, int], WorkloadSpec] = {}
 
     # -- accessors -----------------------------------------------------------------
     @property
@@ -191,32 +204,64 @@ class Cluster:
     def workload(self, model: str) -> WorkloadSpec:
         return self._workloads[model]
 
+    def native_seq_len(self, model: str) -> int:
+        """The model's own sequence length (0 for CNNs)."""
+        return self._workloads[model].seq_len
+
+    def workload_at(self, model: str, seq_len: int = 0) -> WorkloadSpec:
+        """The model's workload re-derived at ``seq_len`` (0 = native).
+
+        Cached per (model, seq_len); the native shape is the workload
+        itself, bit-for-bit, so fixed-seqlen serving reproduces the
+        original cost model exactly.
+        """
+        native = self._workloads[model]
+        if seq_len == 0 or seq_len == native.seq_len:
+            return native
+        key = (model, seq_len)
+        derived = self._seqlen_workloads.get(key)
+        if derived is None:
+            derived = at_seq_len(native, seq_len)
+            self._seqlen_workloads[key] = derived
+        return derived
+
     def chips_for(self, model: str) -> Tuple[int, ...]:
         """Chip ids hosting (a replica of) this model."""
         return self._plan.placements[model]
 
     # -- cost oracle ---------------------------------------------------------------
-    def service(self, chip_id: int, model: str, batch_size: int) -> ChipService:
-        """Latency/energy of one size-``batch_size`` batch on ``chip_id``."""
+    def service(
+        self, chip_id: int, model: str, batch_size: int, seq_len: int = 0
+    ) -> ChipService:
+        """Latency/energy of one size-``batch_size`` batch on ``chip_id``.
+
+        ``seq_len`` selects the sequence length the batch runs at (a bucket
+        boundary, usually); 0 keeps the model's native shape — the CNN and
+        fixed-seqlen path, which reproduces the original per-model cost.
+        """
         if chip_id not in self.chips_for(model):
             raise ValueError(f"chip {chip_id} does not host model {model!r}")
-        key = (self._chip_keys[chip_id], model, batch_size)
+        if seq_len == self._workloads[model].seq_len:
+            seq_len = 0  # the native shape shares the legacy cache rows
+        key = (self._chip_keys[chip_id], model, batch_size, seq_len)
         cached = self._service_cache.get(key)
         if cached is None:
-            cached = self._cost(chip_id, model, batch_size)
+            cached = self._cost(chip_id, model, batch_size, seq_len)
             self._service_cache[key] = cached
         return cached
 
-    def reference_latency_ns(self, model: str) -> float:
+    def reference_latency_ns(self, model: str, seq_len: int = 0) -> float:
         """Batch-1 service latency — the no-queueing, no-batching floor."""
         chip = self.chips_for(model)[0]
-        return self.service(chip, model, 1).latency_ns
+        return self.service(chip, model, 1, seq_len).latency_ns
 
-    def _cost(self, chip_id: int, model: str, batch_size: int) -> ChipService:
+    def _cost(
+        self, chip_id: int, model: str, batch_size: int, seq_len: int
+    ) -> ChipService:
         sim = self._simulator(chip_id)
-        workload = self._workloads[model]
+        workload = self.workload_at(model, seq_len)
         if self._mode == "pipelined":
-            stream_key = (self._chip_keys[chip_id], model)
+            stream_key = (self._chip_keys[chip_id], model, seq_len)
             stream = self._stream_cache.get(stream_key)
             if stream is None:
                 stream = sim.run_layer_pipelined(workload)

@@ -25,7 +25,13 @@ _COMPLETION, _ARRIVAL, _WINDOW = 0, 1, 2
 
 @dataclasses.dataclass(frozen=True)
 class ServedRequest:
-    """One request's journey through the cluster."""
+    """One request's journey through the cluster.
+
+    ``seq_len`` is the request's own token count and ``padded_seq_len``
+    the length its batch actually ran at (its seqlen bucket, or the batch
+    max without bucketing).  Both are 0 on the native path — CNN requests
+    and traces generated without a sequence-length distribution.
+    """
 
     request: Request
     chip_id: int
@@ -33,6 +39,8 @@ class ServedRequest:
     dispatch_ns: float
     finish_ns: float
     energy_pj: float  # this request's share of its batch's energy
+    seq_len: int = 0
+    padded_seq_len: int = 0
 
     @property
     def latency_ns(self) -> float:
@@ -43,6 +51,11 @@ class ServedRequest:
     def queue_ns(self) -> float:
         """Time spent waiting before the batch dispatched."""
         return self.dispatch_ns - self.request.arrival_ns
+
+    @property
+    def padding_tokens(self) -> int:
+        """Tokens this request's padded slot wasted."""
+        return max(0, self.padded_seq_len - self.seq_len)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -63,6 +76,29 @@ class ServingResult:
     @property
     def total_energy_pj(self) -> float:
         return sum(s.energy_pj for s in self.served)
+
+    @property
+    def has_seqlens(self) -> bool:
+        """Did any request carry an explicit per-request sequence length?"""
+        return any(s.seq_len > 0 for s in self.served)
+
+    @property
+    def total_tokens(self) -> int:
+        """Real tokens served (0 for native-shape traffic)."""
+        return sum(s.seq_len for s in self.served)
+
+    @property
+    def total_padded_tokens(self) -> int:
+        """Tokens the chips processed, padding included."""
+        return sum(s.padded_seq_len for s in self.served)
+
+    @property
+    def padding_overhead(self) -> float:
+        """Wasted fraction of processed tokens across the whole run."""
+        padded = self.total_padded_tokens
+        if padded == 0:
+            return 0.0
+        return (padded - self.total_tokens) / padded
 
     @property
     def mean_batch_size(self) -> float:
@@ -113,7 +149,9 @@ class ServingEngine:
                 raise ValueError(
                     f"trace request for {request.model!r} but cluster hosts {sorted(known)}"
                 )
-        queues: Dict[str, ModelQueue] = {m: ModelQueue(m) for m in cluster.models}
+        queues: Dict[str, ModelQueue] = {
+            m: ModelQueue(m, policy.seqlen_buckets) for m in cluster.models
+        }
         model_order = tuple(cluster.models)
         chip_free = [0.0] * cluster.n_chips
         chip_busy = [0.0] * cluster.n_chips
@@ -157,7 +195,10 @@ class ServingEngine:
                     return
                 _, model, chip = best
                 batch = queues[model].pop_batch(now, policy)
-                cost = cluster.service(chip, model, batch.size)
+                # The whole batch runs padded to its bucket boundary (or to
+                # its longest request without bucketing); 0 = native shape.
+                padded = batch.padded_seq_len
+                cost = cluster.service(chip, model, batch.size, padded)
                 finish = now + cost.latency_ns
                 chip_free[chip] = finish
                 chip_busy[chip] += cost.latency_ns
@@ -172,6 +213,8 @@ class ServingEngine:
                             dispatch_ns=now,
                             finish_ns=finish,
                             energy_pj=share,
+                            seq_len=request.seq_len,
+                            padded_seq_len=padded if request.seq_len else 0,
                         )
                     )
                 heapq.heappush(events, (finish, _COMPLETION, seq, None))

@@ -35,7 +35,12 @@ def percentile(values: Sequence[float], q: float) -> float:
 
 @dataclasses.dataclass(frozen=True)
 class ModelServingStats:
-    """Latency/SLO/energy roll-up for one model's requests."""
+    """Latency/SLO/energy roll-up for one model's requests.
+
+    The token fields are 0 for native-shape traffic (CNNs, traces without
+    a sequence-length distribution) and populated only when requests carry
+    explicit per-request sequence lengths.
+    """
 
     model: str
     n_requests: int
@@ -48,6 +53,10 @@ class ModelServingStats:
     energy_per_request_uj: float
     slo_ms: float
     slo_attainment: float  # fraction of requests finishing within the SLO
+    mean_seq_len: float = 0.0  # real tokens per request
+    tokens_per_s: float = 0.0  # real-token goodput over the makespan
+    energy_per_token_nj: float = 0.0  # energy over *real* tokens
+    padding_overhead: float = 0.0  # wasted fraction of processed tokens
 
 
 @dataclasses.dataclass(frozen=True)
@@ -65,6 +74,15 @@ class ServingReport:
     mean_batch_size: float
     chip_utilization: Tuple[float, ...]
     per_model: Tuple[ModelServingStats, ...]
+    # Token-level accounting; populated only when the run carried explicit
+    # per-request sequence lengths (has_tokens gates the report columns).
+    tokens_per_s: float = 0.0  # real-token goodput over the makespan
+    energy_per_token_nj: float = 0.0  # energy over real (unpadded) tokens
+    padding_overhead: float = 0.0  # wasted fraction of processed tokens
+
+    @property
+    def has_tokens(self) -> bool:
+        return any(m.mean_seq_len > 0 for m in self.per_model)
 
     @property
     def slo_attainment(self) -> float:
@@ -92,6 +110,7 @@ def summarize(
     latency on its first hosting chip — the no-queueing floor — so it
     scales sensibly from AlexNet to LLaMA without per-model tuning.
     """
+    duration_s = result.makespan_ns * 1e-9
     per_model = []
     met_total = 0
     for model in result.models:
@@ -104,8 +123,11 @@ def summarize(
         )
         met = sum(1 for latency in latencies_ms if latency <= slo)
         met_total += met
-        energy_uj = sum(s.energy_pj for s in served) * 1e-6 / len(served)
+        model_energy_pj = sum(s.energy_pj for s in served)
+        energy_uj = model_energy_pj * 1e-6 / len(served)
         batches = {(s.chip_id, s.dispatch_ns) for s in served}
+        tokens = sum(s.seq_len for s in served)
+        padded = sum(s.padded_seq_len for s in served)
         per_model.append(
             ModelServingStats(
                 model=model,
@@ -119,15 +141,23 @@ def summarize(
                 energy_per_request_uj=energy_uj,
                 slo_ms=slo,
                 slo_attainment=met / len(served),
+                mean_seq_len=tokens / len(served) if tokens else 0.0,
+                tokens_per_s=tokens / duration_s if duration_s > 0 else 0.0,
+                energy_per_token_nj=(
+                    model_energy_pj * 1e-3 / tokens if tokens else 0.0
+                ),
+                padding_overhead=(
+                    (padded - tokens) / padded if padded else 0.0
+                ),
             )
         )
-    duration_s = result.makespan_ns * 1e-9
     throughput = result.n_requests / duration_s if duration_s > 0 else 0.0
     goodput = met_total / duration_s if duration_s > 0 else 0.0
     total_energy_uj = result.total_energy_pj * 1e-6
     per_request_uj = (
         total_energy_uj / result.n_requests if result.n_requests else 0.0
     )
+    total_tokens = result.total_tokens
     return ServingReport(
         accelerator=cluster.spec.name,
         n_chips=result.n_chips,
@@ -140,11 +170,21 @@ def summarize(
         mean_batch_size=result.mean_batch_size,
         chip_utilization=result.chip_utilization,
         per_model=tuple(per_model),
+        tokens_per_s=total_tokens / duration_s if duration_s > 0 else 0.0,
+        energy_per_token_nj=(
+            result.total_energy_pj * 1e-3 / total_tokens if total_tokens else 0.0
+        ),
+        padding_overhead=result.padding_overhead,
     )
 
 
 def format_serving(report: ServingReport) -> str:
-    """Render a serving report in the artifact style of the repo."""
+    """Render a serving report in the artifact style of the repo.
+
+    Token-level lines and columns appear only when the run carried
+    per-request sequence lengths, so native-shape reports stay
+    byte-identical to the pre-seqlen format.
+    """
     lines = [
         f"cluster           : {report.n_chips} x {report.accelerator}",
         f"requests served   : {report.n_requests} in {report.n_batches} batches "
@@ -154,26 +194,43 @@ def format_serving(report: ServingReport) -> str:
         f"goodput (in-SLO)  : {report.goodput_rps:.1f} req/s "
         f"({100 * report.slo_attainment:.1f} % attainment)",
         f"energy/request    : {report.energy_per_request_uj:.3f} uJ",
+    ]
+    if report.has_tokens:
+        lines += [
+            f"token goodput     : {report.tokens_per_s:.0f} tok/s",
+            f"energy/token      : {report.energy_per_token_nj:.3f} nJ",
+            f"padding overhead  : {100 * report.padding_overhead:.1f} % "
+            "of processed tokens",
+        ]
+    lines += [
         f"chip utilization  : mean {100 * report.mean_chip_utilization:.1f} %  "
         + " ".join(f"[{100 * u:.0f}%]" for u in report.chip_utilization),
         "",
-        format_table(
-            ("model", "reqs", "p50 ms", "p95 ms", "p99 ms", "mean ms",
-             "SLO ms", "attain", "uJ/req"),
-            [
-                (
-                    m.model,
-                    m.n_requests,
-                    f"{m.p50_ms:.4f}",
-                    f"{m.p95_ms:.4f}",
-                    f"{m.p99_ms:.4f}",
-                    f"{m.mean_ms:.4f}",
-                    f"{m.slo_ms:.4f}",
-                    f"{100 * m.slo_attainment:.1f}%",
-                    f"{m.energy_per_request_uj:.3f}",
-                )
-                for m in report.per_model
-            ],
-        ),
     ]
+    header = ["model", "reqs", "p50 ms", "p95 ms", "p99 ms", "mean ms",
+              "SLO ms", "attain", "uJ/req"]
+    rows = [
+        [
+            m.model,
+            m.n_requests,
+            f"{m.p50_ms:.4f}",
+            f"{m.p95_ms:.4f}",
+            f"{m.p99_ms:.4f}",
+            f"{m.mean_ms:.4f}",
+            f"{m.slo_ms:.4f}",
+            f"{100 * m.slo_attainment:.1f}%",
+            f"{m.energy_per_request_uj:.3f}",
+        ]
+        for m in report.per_model
+    ]
+    if report.has_tokens:
+        header += ["seq", "tok/s", "nJ/tok", "pad%"]
+        for row, m in zip(rows, report.per_model):
+            row += [
+                f"{m.mean_seq_len:.0f}",
+                f"{m.tokens_per_s:.0f}",
+                f"{m.energy_per_token_nj:.3f}",
+                f"{100 * m.padding_overhead:.1f}%",
+            ]
+    lines.append(format_table(tuple(header), [tuple(r) for r in rows]))
     return "\n".join(lines)

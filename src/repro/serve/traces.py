@@ -15,6 +15,13 @@ Four traffic shapes cover the classic serving regimes:
   thinning (day/night traffic compressed into the simulated horizon);
 * :func:`uniform_trace` / :func:`fixed_trace` — deterministic, replayable
   arrival lists for regression tests and apples-to-apples comparisons.
+
+For LLM workloads, requests additionally carry a per-request sequence
+length (``Request.seq_len``; 0 means "the model's native shape" — the
+CNN / legacy path).  :func:`sample_seqlens` draws lengths from one of the
+:data:`SEQLEN_DISTS` shapes (``fixed`` / ``uniform`` / ``lognormal`` /
+``longtail``) behind the same explicit-seed discipline as the arrival
+generators, and :func:`with_seqlens` attaches them to a trace.
 """
 
 from __future__ import annotations
@@ -28,17 +35,25 @@ import numpy as np
 
 @dataclasses.dataclass(frozen=True)
 class Request:
-    """One inference request entering the cluster."""
+    """One inference request entering the cluster.
+
+    ``seq_len`` is the request's own token count; 0 is the sentinel for
+    "the model's native shape" (all CNN requests, and transformer traces
+    generated without a sequence-length distribution).
+    """
 
     request_id: int
     model: str
     arrival_ns: float
+    seq_len: int = 0
 
     def __post_init__(self) -> None:
         if not self.model:
             raise ValueError("request model must be non-empty")
         if self.arrival_ns < 0:
             raise ValueError("arrival time must be non-negative")
+        if self.seq_len < 0:
+            raise ValueError("seq_len must be non-negative")
 
 
 Trace = Tuple[Request, ...]
@@ -184,3 +199,126 @@ def _check_rate(rps: float, duration_s: float) -> None:
         raise ValueError("rps must be positive")
     if duration_s <= 0:
         raise ValueError("duration must be positive")
+
+
+# -- per-request sequence lengths ----------------------------------------------------
+#: Named sequence-length distributions the CLI exposes via ``--seqlen-dist``.
+SEQLEN_DISTS = ("fixed", "uniform", "lognormal", "longtail")
+
+#: Long-context tail probability of the ``longtail`` sampler per
+#: arrival-trace kind: bursty traffic pairs with the heaviest contexts
+#: (retry storms replaying long prompts), diurnal with a moderate tail,
+#: steady traffic with the lightest.
+_LONGTAIL_TAIL_PROB = {"bursty": 0.15, "diurnal": 0.10, "poisson": 0.06, "uniform": 0.03}
+
+
+def fixed_seqlens(n: int, mean: int) -> Tuple[int, ...]:
+    """Degenerate distribution: every request carries exactly ``mean``."""
+    _check_seqlen_mean(mean)
+    return (mean,) * n
+
+
+def uniform_seqlens(n: int, mean: int, seed: int = 0) -> Tuple[int, ...]:
+    """Integer-uniform lengths on ``[mean/2, 3*mean/2]`` (mean-preserving)."""
+    _check_seqlen_mean(mean)
+    rng = np.random.default_rng(seed)
+    low = max(1, mean // 2)
+    high = max(low, mean + (mean - low))  # symmetric around the mean
+    return tuple(int(v) for v in rng.integers(low, high + 1, size=n))
+
+
+def lognormal_seqlens(
+    n: int, mean: int, seed: int = 0, sigma: float = 0.6
+) -> Tuple[int, ...]:
+    """Lognormal lengths with ``E[X] = mean`` (the classic prompt-length fit).
+
+    ``mu = ln(mean) - sigma^2 / 2`` keeps the arithmetic mean at ``mean``
+    while the median sits below it — most requests are short, a few carry
+    long contexts.
+    """
+    _check_seqlen_mean(mean)
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    rng = np.random.default_rng(seed)
+    mu = math.log(mean) - sigma * sigma / 2.0
+    draws = rng.lognormal(mean=mu, sigma=sigma, size=n)
+    return tuple(max(1, int(round(v))) for v in draws)
+
+
+def longtail_seqlens(
+    n: int,
+    mean: int,
+    seed: int = 0,
+    trace_kind: str = "poisson",
+    max_factor: float = 8.0,
+) -> Tuple[int, ...]:
+    """Long-tailed lengths whose tail weight tracks the arrival process.
+
+    A mixture: most requests draw from a short lognormal body, while a
+    trace-kind-specific fraction (:data:`_LONGTAIL_TAIL_PROB` — bursty
+    traffic carries the most long contexts) draws a long context uniform
+    on ``[2 * mean, max_factor * mean]``.  The body mean is chosen so the
+    overall expectation stays ``mean``, and nothing exceeds
+    ``max_factor * mean`` from the tail — the bucket table stays bounded.
+    """
+    _check_seqlen_mean(mean)
+    try:
+        tail_prob = _LONGTAIL_TAIL_PROB[trace_kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown trace kind {trace_kind!r}; available: {TRACE_KINDS}"
+        ) from None
+    if max_factor <= 2.0:
+        raise ValueError("max_factor must exceed the 2x-mean tail floor")
+    rng = np.random.default_rng(seed)
+    tail_mean = (2.0 + max_factor) / 2.0 * mean
+    body_mean = (mean - tail_prob * tail_mean) / (1.0 - tail_prob)
+    if body_mean < 1.0:
+        raise ValueError(
+            f"max_factor {max_factor} leaves no mass for the body at mean {mean}"
+        )
+    sigma = 0.6
+    mu = math.log(body_mean) - sigma * sigma / 2.0
+    body = rng.lognormal(mean=mu, sigma=sigma, size=n)
+    tail = rng.uniform(2.0 * mean, max_factor * mean, size=n)
+    is_tail = rng.random(n) < tail_prob
+    draws = np.where(is_tail, tail, body)
+    return tuple(max(1, int(round(v))) for v in draws)
+
+
+def sample_seqlens(
+    dist: str,
+    n: int,
+    mean: int,
+    seed: int = 0,
+    trace_kind: str = "poisson",
+) -> Tuple[int, ...]:
+    """Draw ``n`` per-request sequence lengths by distribution name."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if dist == "fixed":
+        return fixed_seqlens(n, mean)
+    if dist == "uniform":
+        return uniform_seqlens(n, mean, seed=seed)
+    if dist == "lognormal":
+        return lognormal_seqlens(n, mean, seed=seed)
+    if dist == "longtail":
+        return longtail_seqlens(n, mean, seed=seed, trace_kind=trace_kind)
+    raise ValueError(f"unknown seqlen dist {dist!r}; available: {SEQLEN_DISTS}")
+
+
+def with_seqlens(trace: Trace, seqlens: Sequence[int]) -> Trace:
+    """Attach one sampled sequence length to each request of a trace."""
+    if len(seqlens) != len(trace):
+        raise ValueError(
+            f"{len(seqlens)} seqlens for {len(trace)} requests"
+        )
+    return tuple(
+        dataclasses.replace(req, seq_len=int(s))
+        for req, s in zip(trace, seqlens)
+    )
+
+
+def _check_seqlen_mean(mean: int) -> None:
+    if mean < 1:
+        raise ValueError(f"mean sequence length must be >= 1, got {mean}")

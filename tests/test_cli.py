@@ -44,6 +44,33 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--trace", "sawtooth"])
 
+    def test_seqlen_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--model", "gpt_large", "--seqlen-dist", "lognormal",
+                "--seqlen-mean", "768", "--seqlen-buckets", "256,512,1024",
+            ]
+        )
+        assert args.seqlen_dist == "lognormal"
+        assert args.seqlen_mean == 768
+        assert args.seqlen_buckets == "256,512,1024"
+
+    def test_seqlen_defaults_off(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.seqlen_dist is None
+        assert args.seqlen_mean is None
+        assert args.seqlen_buckets is None
+
+    def test_bad_seqlen_dist_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--seqlen-dist", "zipf"])
+
+    def test_bad_seqlen_buckets_rejected(self):
+        for bad in ("banana", ",", "512,256", "0,128", "-256"):
+            with pytest.raises(SystemExit):
+                main(["serve", "--model", "gpt_large", "--seqlen-dist",
+                      "fixed", "--seqlen-buckets", bad])
+
 
 class TestFastArtifacts:
     @pytest.mark.parametrize(
@@ -101,3 +128,25 @@ class TestServeCommand:
         assert main(["serve", "--model", "resnet18", "--chips", "4",
                      "--rps", "2000", "--seed", "0"]) == 0
         assert capsys.readouterr().out == default
+
+    def test_seqlen_run_reports_token_metrics(self, capsys):
+        """The PR acceptance scenario: a seqlen-varying LLM run reports
+        tokens/s, per-token energy and padding overhead."""
+        argv = ["serve", "--model", "gpt_large", "--chips", "2",
+                "--rps", "40", "--seed", "0", "--seqlen-dist", "lognormal"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        for token in ("sequence lengths  : lognormal", "token goodput",
+                      "energy/token", "padding overhead", "tok/s", "pad%"):
+            assert token in out
+
+    def test_no_seqlen_dist_reproduces_legacy_report(self, capsys):
+        """Without --seqlen-dist the report is byte-identical to the
+        pre-seqlen output: no token lines, no token columns."""
+        argv = ["serve", "--model", "gpt_large", "--chips", "2",
+                "--rps", "40", "--seed", "0"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "token goodput" not in out
+        assert "sequence lengths" not in out
+        assert "pad%" not in out

@@ -1,0 +1,96 @@
+"""The serve contract, swept across the entire model zoo.
+
+`repro.serve` consumes exactly three `ArchitectureSimulator` outputs plus
+two capacity hooks (see the simulator module docstring).  The existing
+serve tests pin the contract on two models; this sweep asserts it for
+*every* zoo model under *both* residency accountings, so a future arch
+refactor cannot silently break serving for the eight models the serve
+suite never instantiates:
+
+* ``run_batch(w, 1) == run(w)`` — exact float equality, not approx: the
+  engine's batch-1 energy accounting is defined as *identical* to the
+  single-inference roll-up;
+* ``replication_budget`` / ``overflow_layers`` are consistent with the
+  spec's weight capacity and with each other.
+"""
+
+import pytest
+
+from repro.arch import ArchitectureSimulator, yoco_spec
+from repro.models import BENCHMARK_MODELS, get_workload
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {name: get_workload(name) for name in BENCHMARK_MODELS}
+
+
+@pytest.mark.parametrize("name", BENCHMARK_MODELS)
+@pytest.mark.parametrize("resident", (True, False), ids=("resident", "streaming"))
+class TestBatchOneContract:
+    def test_run_batch_one_is_run_exactly(self, name, resident, workloads):
+        workload = workloads[name]
+        sim = ArchitectureSimulator(yoco_spec(), weights_resident=resident)
+        run = sim.run(workload)
+        batch = sim.run_batch(workload, 1)
+        # Exact equality — by construction, not within tolerance.
+        assert batch.latency_ns == run.latency_ns
+        assert batch.energy_pj == run.energy_pj
+        assert batch.run == run
+        assert batch.batch_size == 1
+        assert batch.energy_per_inference_pj == run.energy_pj
+        assert batch.latency_per_inference_ns == run.latency_ns
+
+
+@pytest.mark.parametrize("name", BENCHMARK_MODELS)
+class TestCapacityHooks:
+    def test_replication_budget_matches_capacity(self, name, workloads):
+        workload = workloads[name]
+        spec = yoco_spec()
+        sim = ArchitectureSimulator(spec)
+        budget = sim.replication_budget(workload)
+        assert budget >= 1
+        weights = workload.total_weight_bytes
+        if weights == 0:
+            assert budget == spec.n_units
+        else:
+            # floor(capacity / weights), floored at one copy.
+            assert budget == max(1, spec.weight_capacity_bytes // weights)
+            if weights <= spec.weight_capacity_bytes:
+                assert budget * weights <= spec.weight_capacity_bytes
+
+    def test_overflow_layers_consistency(self, name, workloads):
+        workload = workloads[name]
+        spec = yoco_spec()
+        resident = ArchitectureSimulator(spec, weights_resident=True)
+        streaming = ArchitectureSimulator(spec, weights_resident=False)
+        # The paper's methodology never overflows.
+        assert resident.overflow_layers(workload) == set()
+        overflow = streaming.overflow_layers(workload)
+        layer_by_name = {l.name: l for l in workload.layers}
+        assert overflow <= set(layer_by_name)
+        # Only weight-carrying (static) layers can overflow.
+        assert all(layer_by_name[n].weight_bytes > 0 for n in overflow)
+        fits = workload.total_weight_bytes <= spec.weight_capacity_bytes
+        if fits:
+            assert overflow == set()
+        else:
+            assert overflow
+            # First-fit conservation: what stayed on chip fits the capacity.
+            pinned = sum(
+                l.weight_bytes for l in workload.layers if l.name not in overflow
+            )
+            assert pinned <= spec.weight_capacity_bytes
+
+    def test_overflow_costs_are_visible_in_energy(self, name, workloads):
+        """Streaming accounting must cost at least as much as resident —
+        strictly more exactly when some layer overflows."""
+        workload = workloads[name]
+        resident = ArchitectureSimulator(yoco_spec(), weights_resident=True)
+        streaming = ArchitectureSimulator(yoco_spec(), weights_resident=False)
+        e_resident = resident.run(workload).energy_pj
+        e_streaming = streaming.run(workload).energy_pj
+        if streaming.overflow_layers(workload):
+            assert e_streaming > e_resident
+        else:
+            assert e_streaming == e_resident
