@@ -17,6 +17,15 @@ batched multi-chip cluster:
     python -m repro serve --model llama3_7b --chips 8 --rps 50 --trace bursty
     python -m repro serve --model gpt_large --chips 2 --rps 40 \
         --seqlen-dist lognormal --seqlen-buckets 256,512,1024,2048
+
+``--fleet`` replaces the homogeneous ``--chips`` cluster with a mixed
+fleet of chip types (YOCO plus the Fig. 8 baselines), with cost-aware
+placement and routing knobs:
+
+    python -m repro serve --fleet yoco:8,isaac:4 --model resnet18 --rps 2000
+    python -m repro serve --fleet yoco:2,isaac:2:pipelined \
+        --model resnet18 --model gpt_large --placement cost-energy \
+        --routing cheapest-energy
 """
 
 from __future__ import annotations
@@ -44,9 +53,11 @@ from repro.experiments.report import section
 from repro.serve import (
     MODES,
     PLACEMENTS,
+    ROUTING_POLICIES,
     SEQLEN_DISTS,
     TRACE_KINDS,
     format_serving,
+    parse_fleet,
     simulate_serving,
 )
 
@@ -75,9 +86,26 @@ def _parse_buckets(text: Optional[str]) -> Optional[List[int]]:
 
 def _serve(args: argparse.Namespace) -> str:
     models = args.model if args.model else ["resnet18"]
+    fleet = None
+    if args.fleet is not None:
+        try:
+            fleet = parse_fleet(args.fleet)
+        except ValueError as error:
+            raise SystemExit(f"--fleet: {error}") from None
+        if args.mode != "batched":
+            raise SystemExit(
+                "--mode applies to --chips clusters; with --fleet, give each "
+                "group its own mode, e.g. --fleet yoco:4,isaac:4:pipelined"
+            )
+    # The --chips default applies only without a fleet; an *explicit*
+    # --chips is always forwarded so a contradiction with --fleet raises
+    # instead of being silently ignored.
+    n_chips = args.chips
+    if n_chips is None and fleet is None:
+        n_chips = 4
     report, _ = simulate_serving(
         models,
-        n_chips=args.chips,
+        n_chips=n_chips,
         rps=args.rps,
         duration_s=args.duration,
         trace_kind=args.trace,
@@ -90,6 +118,8 @@ def _serve(args: argparse.Namespace) -> str:
         seqlen_dist=args.seqlen_dist,
         seqlen_mean=args.seqlen_mean,
         seqlen_buckets=_parse_buckets(args.seqlen_buckets),
+        fleet=fleet,
+        routing=args.routing,
     )
     header = (
         f"traffic           : {','.join(models)} @ {args.rps:g} req/s "
@@ -208,7 +238,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         help="model(s) to serve; repeatable (default: resnet18)",
     )
-    serve.add_argument("--chips", type=int, default=4, help="cluster size")
+    serve.add_argument(
+        "--chips",
+        type=int,
+        default=None,
+        help="cluster size (default: 4; contradicting an explicit --fleet "
+        "is an error)",
+    )
+    serve.add_argument(
+        "--fleet",
+        type=str,
+        default=None,
+        help="heterogeneous fleet spec, e.g. yoco:8,isaac:4 or "
+        "yoco:4,isaac:4:pipelined (replaces --chips, which then must "
+        "match if given; incompatible with --mode — give each group its "
+        "own mode instead)",
+    )
+    serve.add_argument(
+        "--routing",
+        choices=ROUTING_POLICIES,
+        default="fastest",
+        help="which free hosting chip a batch dispatches to "
+        "(only distinguishable on a mixed fleet)",
+    )
     serve.add_argument(
         "--rps", type=float, default=2000.0, help="offered load, requests/second"
     )

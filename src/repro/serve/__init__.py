@@ -26,7 +26,7 @@ The same entry point backs ``python -m repro serve`` and the
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple, Union
 
 from repro.arch.accelerator import AcceleratorSpec
 from repro.models.zoo import get_workload
@@ -44,10 +44,28 @@ from repro.serve.cluster import (
     ClusterPlan,
     MODES,
     PLACEMENTS,
+    fleet_cost_table,
     plan_cluster,
+    plan_fleet,
 )
-from repro.serve.engine import ServedRequest, ServingEngine, ServingResult
+from repro.serve.engine import (
+    ROUTING_POLICIES,
+    ServedRequest,
+    ServingEngine,
+    ServingResult,
+)
+from repro.serve.fleet import (
+    CHIP_TYPES,
+    FleetGroup,
+    FleetSpec,
+    backend_for,
+    chip_spec,
+    fleet_group,
+    homogeneous_fleet,
+    parse_fleet,
+)
 from repro.serve.metrics import (
+    ChipTypeStats,
     ModelServingStats,
     ServingReport,
     format_serving,
@@ -76,14 +94,19 @@ from repro.serve.traces import (
 __all__ = [
     "Batch",
     "BatchingPolicy",
+    "CHIP_TYPES",
     "ChipPlan",
     "ChipService",
+    "ChipTypeStats",
     "Cluster",
     "ClusterPlan",
+    "FleetGroup",
+    "FleetSpec",
     "MODES",
     "ModelQueue",
     "ModelServingStats",
     "PLACEMENTS",
+    "ROUTING_POLICIES",
     "Request",
     "SEQLEN_DISTS",
     "ServedRequest",
@@ -91,19 +114,26 @@ __all__ = [
     "ServingReport",
     "ServingResult",
     "TRACE_KINDS",
+    "backend_for",
     "bucket_for",
     "bursty_trace",
+    "chip_spec",
     "default_buckets",
     "diurnal_trace",
     "fixed_seqlens",
     "fixed_trace",
+    "fleet_cost_table",
+    "fleet_group",
     "format_serving",
+    "homogeneous_fleet",
     "lognormal_seqlens",
     "longtail_seqlens",
     "make_trace",
     "merge_traces",
+    "parse_fleet",
     "percentile",
     "plan_cluster",
+    "plan_fleet",
     "poisson_trace",
     "sample_seqlens",
     "simulate_serving",
@@ -120,8 +150,8 @@ _SEQLEN_SEED_OFFSET = 100_003
 
 def simulate_serving(
     models: Sequence[str],
-    n_chips: int,
-    rps: float,
+    n_chips: Optional[int] = None,
+    rps: float = 2000.0,
     duration_s: float = 0.1,
     trace_kind: str = "poisson",
     seed: int = 0,
@@ -134,12 +164,25 @@ def simulate_serving(
     seqlen_dist: Optional[str] = None,
     seqlen_mean: Optional[int] = None,
     seqlen_buckets: Optional[Sequence[int]] = None,
+    fleet: Optional[Union[FleetSpec, str]] = None,
+    routing: str = "fastest",
 ) -> Tuple[ServingReport, ServingResult]:
     """End-to-end serving run: build trace + cluster, simulate, summarize.
 
     Offered load ``rps`` is split evenly across ``models``; each model's
     sub-trace draws from its own seeded stream so adding a model never
     perturbs another's arrivals.
+
+    ``fleet`` serves the trace on a (possibly heterogeneous) fleet of
+    chip groups instead of ``n_chips`` identical chips — pass a
+    :class:`FleetSpec` or the CLI string form (``"yoco:8,isaac:4"``).
+    A homogeneous fleet (``"yoco:4"``) is bit-identical to the
+    equivalent ``n_chips=4`` run.  A fleet is incompatible with ``spec``
+    and ``mode`` (groups carry their own specs and modes) and with a
+    contradicting ``n_chips`` — those raise instead of being silently
+    ignored.  ``routing`` picks which free hosting chip each batch
+    dispatches to (:data:`ROUTING_POLICIES`) — only meaningful once
+    chips differ.
 
     ``seqlen_dist`` (one of :data:`SEQLEN_DISTS`) attaches a per-request
     sequence length to every transformer request, drawn around
@@ -191,14 +234,22 @@ def simulate_serving(
         buckets = default_buckets(max_sampled)
     else:
         buckets = ()
+    # Both branches forward n_chips/spec/mode so Cluster's own validation
+    # rejects contradictions (e.g. a fleet plus mode=, or a mismatched
+    # n_chips) instead of silently ignoring an argument.
     cluster = Cluster(
-        workloads, n_chips=n_chips, spec=spec, mode=mode, placement=placement
+        workloads,
+        n_chips=n_chips,
+        spec=spec,
+        mode=mode,
+        placement=placement,
+        fleet=fleet,
     )
     policy = BatchingPolicy(
         max_batch_size=max_batch_size,
         window_ns=window_ms * 1e6,
         seqlen_buckets=buckets,
     )
-    result = ServingEngine(cluster, policy).run(trace)
+    result = ServingEngine(cluster, policy, routing=routing).run(trace)
     report = summarize(result, cluster, slo_ms=slo_ms)
     return report, result

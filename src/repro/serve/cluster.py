@@ -1,12 +1,23 @@
 """Multi-chip cluster model: placement and per-chip service costs.
 
-A cluster is ``n_chips`` copies of one :class:`AcceleratorSpec` serving a
-set of model workloads.  Two placement strategies:
+A cluster is a *fleet* of named chip groups (see
+:class:`repro.serve.fleet.FleetSpec`) serving a set of model workloads.
+The legacy form — ``n_chips`` copies of one :class:`AcceleratorSpec` —
+is the single-group fleet and keeps its original constructor.  Placement
+strategies:
 
-* ``replicated`` — every chip hosts every model (pure data parallelism);
-* ``partitioned`` — greedy capacity-aware bin packing: heaviest models
-  claim the emptiest chips first, then idle chips replicate the most
-  compute-hungry models.
+* ``replicated`` — every chip of every group hosts every model (pure
+  data parallelism);
+* ``partitioned`` — greedy capacity-aware bin packing *within each
+  group*: heaviest models claim the emptiest chips first, then idle
+  chips replicate the most compute-hungry models;
+* ``cost-latency`` / ``cost-energy`` — the heterogeneous placer: a
+  per-(model, chip-type) cost table built from each group's backend
+  ranks groups by batch-1 latency or energy, and models are packed
+  greedily onto their best-ranked groups under per-chip capacity and
+  per-group replication accounting.  Models that fit no chip are
+  reported on :attr:`ClusterPlan.unplaceable` instead of silently
+  dropped.
 
 Capacity awareness reuses the architecture simulator's own hooks
 (:meth:`ArchitectureSimulator.replication_budget` /
@@ -17,7 +28,7 @@ overflows fall back to the deployment-style ``weights_resident=False``
 accounting where overflow weights stream over the off-chip link every
 inference.
 
-Two execution modes per chip:
+Two execution modes per chip group:
 
 * ``batched`` — each dispatched batch runs via
   :meth:`ArchitectureSimulator.run_batch` (wave-amortized latency);
@@ -29,14 +40,26 @@ Two execution modes per chip:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.arch.accelerator import AcceleratorSpec, yoco_spec
 from repro.arch.simulator import ArchitectureSimulator
 from repro.models.workload import WorkloadSpec, at_seq_len
+from repro.serve.fleet import (
+    MODES,
+    FleetGroup,
+    FleetSpec,
+    backend_for,
+    homogeneous_fleet,
+    parse_fleet,
+)
 
-PLACEMENTS = ("replicated", "partitioned")
-MODES = ("batched", "pipelined")
+PLACEMENTS = ("replicated", "partitioned", "cost-latency", "cost-energy")
+
+#: Per-chip service-cost cache key: the group name pins the backend (two
+#: chip types may share capacity and residency yet cost very differently),
+#: then the effective capacity and residency split rows within a group.
+ChipKey = Tuple[str, int, bool]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -47,15 +70,30 @@ class ChipPlan:
     models: Tuple[str, ...]
     weight_bytes: int
     fits: bool  # resident model set fits the on-chip weight capacity
+    chip_type: str = ""  # hosting fleet group's name
 
 
 @dataclasses.dataclass(frozen=True)
 class ClusterPlan:
-    """Placement of every model onto every chip."""
+    """Placement of every model onto every chip.
+
+    ``unplaceable`` names models the cost-aware placer could not fit on
+    any chip (they appear in no chip's model set and must be surfaced to
+    the operator, never silently dropped); the replicated/partitioned
+    strategies always place everything.
+    """
 
     n_chips: int
     chips: Tuple[ChipPlan, ...]
     placements: Dict[str, Tuple[int, ...]]  # model -> hosting chip ids
+    unplaceable: Tuple[str, ...] = ()
+
+    def replicas(self, model: str, chip_type: str = "") -> int:
+        """Hosting chips of one model, optionally within one group."""
+        hosts = self.placements.get(model, ())
+        if not chip_type:
+            return len(hosts)
+        return sum(1 for c in hosts if self.chips[c].chip_type == chip_type)
 
 
 def plan_cluster(
@@ -64,40 +102,65 @@ def plan_cluster(
     spec: AcceleratorSpec,
     placement: str = "replicated",
 ) -> ClusterPlan:
-    """Assign models to chips under the chosen placement strategy."""
+    """Assign models to the chips of a homogeneous cluster."""
     if n_chips < 1:
         raise ValueError("n_chips must be >= 1")
+    return plan_fleet(workloads, homogeneous_fleet(spec, n_chips), placement)
+
+
+def plan_fleet(
+    workloads: Sequence[WorkloadSpec],
+    fleet: FleetSpec,
+    placement: str = "replicated",
+) -> ClusterPlan:
+    """Assign models to every chip group under the chosen strategy."""
     if not workloads:
         raise ValueError("cluster needs at least one workload")
     names = [w.name for w in workloads]
     if len(set(names)) != len(names):
         raise ValueError("duplicate workload names in cluster")
+    unplaceable: Tuple[str, ...] = ()
     if placement == "replicated":
-        assigned: List[List[str]] = [list(names) for _ in range(n_chips)]
+        assigned: List[List[str]] = [list(names) for _ in range(fleet.n_chips)]
     elif placement == "partitioned":
-        assigned = _partition(workloads, n_chips, spec)
+        assigned = []
+        for group in fleet.groups:
+            assigned.extend(_partition(workloads, group.n_chips, group.spec))
+    elif placement in ("cost-latency", "cost-energy"):
+        objective = placement.split("-", 1)[1]
+        assigned, unplaceable = _cost_aware(workloads, fleet, objective)
     else:
         raise ValueError(
             f"unknown placement {placement!r}; available: {PLACEMENTS}"
         )
     by_name = {w.name: w for w in workloads}
+    groups = fleet.groups
+    chip_groups = fleet.chip_groups
     chips = tuple(
         ChipPlan(
             chip_id=chip_id,
             models=tuple(models),
             weight_bytes=sum(by_name[m].total_weight_bytes for m in models),
             fits=sum(by_name[m].total_weight_bytes for m in models)
-            <= spec.weight_capacity_bytes,
+            <= groups[chip_groups[chip_id]].spec.weight_capacity_bytes,
+            chip_type=groups[chip_groups[chip_id]].name,
         )
         for chip_id, models in enumerate(assigned)
     )
-    placements = {
-        name: tuple(c.chip_id for c in chips if name in c.models) for name in names
-    }
-    for name, hosts in placements.items():
+    placements = {}
+    for name in names:
+        hosts = tuple(c.chip_id for c in chips if name in c.models)
         if not hosts:
+            if name in unplaceable:
+                continue  # explicitly reported, not silently dropped
             raise RuntimeError(f"model {name!r} placed on no chip")
-    return ClusterPlan(n_chips=n_chips, chips=chips, placements=placements)
+        placements[name] = hosts
+    return ClusterPlan(
+        n_chips=fleet.n_chips,
+        chips=chips,
+        placements=placements,
+        unplaceable=unplaceable,
+    )
 
 
 def _partition(
@@ -111,16 +174,120 @@ def _partition(
         chip = max(range(n_chips), key=lambda c: (remaining[c], -c))
         assigned[chip].append(w.name)
         remaining[chip] -= w.total_weight_bytes
-    # Idle chips become data-parallel replicas of the busiest models.
-    hosts = {w.name: sum(w.name in a for a in assigned) for w in workloads}
-    ops = {w.name: w.total_ops for w in workloads}
-    for chip in range(n_chips):
+    _fill_idle_chips(assigned, workloads, lambda chip, names: names)
+    return assigned
+
+
+def _fill_idle_chips(
+    assigned: List[List[str]],
+    workloads: Sequence[WorkloadSpec],
+    eligible,
+) -> None:
+    """Turn idle chips into data-parallel replicas of the hottest models.
+
+    The shared replication rule of both packers: each idle chip takes the
+    model with the most compute per existing replica (name as tiebreak),
+    drawn from ``eligible(chip_id, placed_names)`` — the hook where the
+    cost-aware placer applies its capacity prefilter.  Mutates
+    ``assigned`` in place; chips already hosting something are untouched.
+    """
+    placed = [w for w in workloads if any(w.name in a for a in assigned)]
+    if not placed:
+        return
+    hosts = {w.name: sum(w.name in a for a in assigned) for w in placed}
+    ops = {w.name: w.total_ops for w in placed}
+    names = list(ops)
+    for chip in range(len(assigned)):
         if assigned[chip]:
             continue
-        name = max(ops, key=lambda n: (ops[n] / hosts[n], n))
+        pool = eligible(chip, names) or names
+        name = max(pool, key=lambda m: (ops[m] / hosts[m], m))
         assigned[chip].append(name)
         hosts[name] += 1
-    return assigned
+
+
+def fleet_cost_table(
+    workloads: Sequence[WorkloadSpec], fleet: FleetSpec
+) -> Dict[Tuple[str, str], "ChipService"]:
+    """Batch-1 (latency, energy) of every model on every chip group.
+
+    The ranking signal of the cost-aware placer, keyed by
+    ``(model, group name)``; costs come from each group's own backend
+    under the resident accounting, so they reflect exactly the designs'
+    per-inference personalities and nothing about cluster state.
+    """
+    table: Dict[Tuple[str, str], ChipService] = {}
+    for group in fleet.groups:
+        backend = backend_for(group)
+        for w in workloads:
+            run = backend.run(w)
+            table[w.name, group.name] = ChipService(
+                latency_ns=run.latency_ns, energy_pj=run.energy_pj
+            )
+    return table
+
+
+def _cost_aware(
+    workloads: Sequence[WorkloadSpec], fleet: FleetSpec, objective: str
+) -> Tuple[List[List[str]], Tuple[str, ...]]:
+    """Greedy cost-ranked packing across chip groups.
+
+    Heaviest models place first; each tries its groups in objective order
+    (batch-1 latency or energy from :func:`fleet_cost_table`), landing on
+    the chip with the most remaining capacity.  A model too large for even
+    an empty chip of its best group claims a whole die and streams its
+    overflow (the chip is then sealed against co-residents).  Idle chips
+    finish as data-parallel replicas of the hottest models they can hold.
+    Models that fit nowhere are returned as unplaceable.
+    """
+    groups = fleet.groups
+    table = fleet_cost_table(workloads, fleet)
+    cost = (
+        (lambda name, g: table[name, g.name].latency_ns)
+        if objective == "latency"
+        else (lambda name, g: table[name, g.name].energy_pj)
+    )
+    chip_groups = fleet.chip_groups
+    n = len(chip_groups)
+    assigned: List[List[str]] = [[] for _ in range(n)]
+    remaining = [float(groups[gi].spec.weight_capacity_bytes) for gi in chip_groups]
+    sealed = [False] * n  # overflow singletons accept no co-residents
+    unplaceable: List[str] = []
+    for w in sorted(workloads, key=lambda w: (-w.total_weight_bytes, w.name)):
+        ranked = sorted(
+            range(len(groups)), key=lambda gi: (cost(w.name, groups[gi]), gi)
+        )
+        placed = False
+        for gi in ranked:
+            chips = [
+                c for c in range(n) if chip_groups[c] == gi and not sealed[c]
+            ]
+            fitting = [c for c in chips if remaining[c] >= w.total_weight_bytes]
+            if fitting:
+                chip = max(fitting, key=lambda c: (remaining[c], -c))
+                assigned[chip].append(w.name)
+                remaining[chip] -= w.total_weight_bytes
+                placed = True
+                break
+            if w.total_weight_bytes > groups[gi].spec.weight_capacity_bytes:
+                empty = [c for c in chips if not assigned[c]]
+                if empty:
+                    chip = min(empty)
+                    assigned[chip].append(w.name)
+                    remaining[chip] = 0.0
+                    sealed[chip] = True
+                    placed = True
+                    break
+        if not placed:
+            unplaceable.append(w.name)
+    weights = {w.name: w.total_weight_bytes for w in workloads}
+
+    def fitting(chip: int, names: List[str]) -> List[str]:
+        capacity = groups[chip_groups[chip]].spec.weight_capacity_bytes
+        return [m for m in names if weights[m] <= capacity]
+
+    _fill_idle_chips(assigned, workloads, fitting)
+    return assigned, tuple(unplaceable)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -132,49 +299,85 @@ class ChipService:
 
 
 class Cluster:
-    """N identical accelerator chips plus the placement over them.
+    """A fleet of accelerator chips plus the placement over them.
 
     The serving engine treats this object as a pure cost oracle: it asks
     which chips may host a model (:meth:`chips_for`) and what a size-``B``
     batch costs on a given chip (:meth:`service`).  All costs are cached —
     the discrete-event loop stays free of simulator calls.
 
+    The legacy homogeneous form (``n_chips`` copies of one ``spec``) and
+    the ``fleet`` form are the same machinery: the former is wrapped into
+    a single-group :class:`FleetSpec`, so a homogeneous fleet reproduces
+    the original cluster bit for bit (asserted by the differential golden
+    tests).
+
     For LLM traffic the oracle is sequence-length aware: ``service`` takes
     the (bucket) sequence length the batch runs at, and the cost table is
-    built per (model, bucket) by re-deriving the transformer workload at
-    that length (:meth:`workload_at`) — weight footprints are invariant
-    under the re-derivation, so placement and capacity accounting never
-    change across buckets.
+    built per (model, chip group, bucket) by re-deriving the transformer
+    workload at that length (:meth:`workload_at`) — weight footprints are
+    invariant under the re-derivation, so placement and capacity
+    accounting never change across buckets.
     """
 
     def __init__(
         self,
         workloads: Sequence[WorkloadSpec],
-        n_chips: int,
+        n_chips: Optional[int] = None,
         spec: Optional[AcceleratorSpec] = None,
         mode: str = "batched",
         placement: str = "replicated",
+        fleet: Optional[Union[FleetSpec, str]] = None,
     ) -> None:
-        if mode not in MODES:
-            raise ValueError(f"unknown mode {mode!r}; available: {MODES}")
-        self._spec = spec if spec is not None else yoco_spec()
-        self._mode = mode
+        if fleet is None:
+            if mode not in MODES:
+                raise ValueError(f"unknown mode {mode!r}; available: {MODES}")
+            if n_chips is None:
+                raise ValueError("n_chips is required without a fleet")
+            base = spec if spec is not None else yoco_spec()
+            fleet = homogeneous_fleet(base, n_chips, mode)
+        else:
+            if isinstance(fleet, str):
+                fleet = parse_fleet(fleet)
+            if spec is not None:
+                raise ValueError("pass spec or fleet, not both")
+            if mode != "batched":
+                raise ValueError(
+                    "with a fleet, execution modes live on the groups "
+                    "(FleetGroup.mode), not on the cluster"
+                )
+            if n_chips is not None and n_chips != fleet.n_chips:
+                raise ValueError(
+                    f"n_chips={n_chips} contradicts the fleet's "
+                    f"{fleet.n_chips} chips; omit it"
+                )
+        self._fleet = fleet
+        self._chip_groups = fleet.chip_groups
         self._workloads = {w.name: w for w in workloads}
-        self._plan = plan_cluster(workloads, n_chips, self._spec, placement)
+        self._plan = plan_fleet(workloads, fleet, placement)
+        if self._plan.unplaceable:
+            raise ValueError(
+                f"models {list(self._plan.unplaceable)} fit on no chip of "
+                f"fleet [{fleet.label}]; shrink the model set or grow the fleet"
+            )
         self._chip_specs = tuple(
             self._effective_spec(chip) for chip in self._plan.chips
         )
-        # Replicated chips are identical; cache by cost-relevant key, not
-        # chip id, so an 8-chip cluster simulates each model once.
-        self._chip_keys = tuple(
-            (spec.weight_capacity_bytes, chip.fits)
-            for spec, chip in zip(self._chip_specs, self._plan.chips)
+        # Same-group chips with the same effective capacity and residency
+        # are identical; cache by this cost-relevant key, not chip id, so
+        # an 8-chip group simulates each model once.  The group name is
+        # part of the key: two chip types can share capacity and residency
+        # yet cost very differently, and a mixed fleet must never read a
+        # stale wrong-backend entry.
+        self._chip_keys: Tuple[ChipKey, ...] = tuple(
+            (chip.chip_type, eff.weight_capacity_bytes, chip.fits)
+            for eff, chip in zip(self._chip_specs, self._plan.chips)
         )
-        self._simulators: Dict[Tuple[int, bool], ArchitectureSimulator] = {}
+        self._simulators: Dict[ChipKey, ArchitectureSimulator] = {}
         self._service_cache: Dict[
-            Tuple[Tuple[int, bool], str, int, int], ChipService
+            Tuple[ChipKey, str, int, int], ChipService
         ] = {}
-        self._stream_cache: Dict[Tuple[Tuple[int, bool], str, int], object] = {}
+        self._stream_cache: Dict[Tuple[ChipKey, str, int], object] = {}
         # Workloads re-derived per sequence length, shared across chips —
         # a bucketed LLM run costs one derivation per (model, bucket), not
         # one per batch.
@@ -182,12 +385,22 @@ class Cluster:
 
     # -- accessors -----------------------------------------------------------------
     @property
+    def fleet(self) -> FleetSpec:
+        return self._fleet
+
+    @property
+    def heterogeneous(self) -> bool:
+        return self._fleet.heterogeneous
+
+    @property
     def spec(self) -> AcceleratorSpec:
-        return self._spec
+        """The first group's spec (the only one for homogeneous fleets)."""
+        return self._fleet.groups[0].spec
 
     @property
     def mode(self) -> str:
-        return self._mode
+        """The first group's execution mode (the only one when homogeneous)."""
+        return self._fleet.groups[0].mode
 
     @property
     def n_chips(self) -> int:
@@ -200,6 +413,31 @@ class Cluster:
     @property
     def models(self) -> Tuple[str, ...]:
         return tuple(self._workloads)
+
+    @property
+    def chip_types(self) -> Tuple[str, ...]:
+        """Group names in declaration order."""
+        return tuple(g.name for g in self._fleet.groups)
+
+    def group_of(self, chip_id: int) -> FleetGroup:
+        return self._fleet.groups[self._chip_groups[chip_id]]
+
+    def chip_type(self, chip_id: int) -> str:
+        """The fleet group name hosting this chip."""
+        return self.group_of(chip_id).name
+
+    def chips_of_type(self, chip_type: str) -> Tuple[int, ...]:
+        """Global chip ids belonging to one fleet group."""
+        ids = tuple(
+            c
+            for c in range(self.n_chips)
+            if self._fleet.groups[self._chip_groups[c]].name == chip_type
+        )
+        if not ids:
+            raise ValueError(
+                f"unknown chip type {chip_type!r}; fleet has {self.chip_types}"
+            )
+        return ids
 
     def workload(self, model: str) -> WorkloadSpec:
         return self._workloads[model]
@@ -251,16 +489,33 @@ class Cluster:
         return cached
 
     def reference_latency_ns(self, model: str, seq_len: int = 0) -> float:
-        """Batch-1 service latency — the no-queueing, no-batching floor."""
-        chip = self.chips_for(model)[0]
-        return self.service(chip, model, 1, seq_len).latency_ns
+        """Batch-1 service latency — the no-queueing, no-batching floor.
+
+        The floor is taken over the model's *best* hosting chip (one probe
+        per distinct cost key), so derived quantities like the default SLO
+        never depend on fleet group declaration order: ``yoco:2,isaac:2``
+        and ``isaac:2,yoco:2`` anchor to the same number.  On a
+        homogeneous cluster every host shares one key and this is exactly
+        the first hosting chip, as it always was.
+        """
+        best = None
+        seen = set()
+        for chip in self.chips_for(model):
+            key = self._chip_keys[chip]
+            if key in seen:
+                continue
+            seen.add(key)
+            latency = self.service(chip, model, 1, seq_len).latency_ns
+            if best is None or latency < best:
+                best = latency
+        return best
 
     def _cost(
         self, chip_id: int, model: str, batch_size: int, seq_len: int
     ) -> ChipService:
         sim = self._simulator(chip_id)
         workload = self.workload_at(model, seq_len)
-        if self._mode == "pipelined":
+        if self.group_of(chip_id).mode == "pipelined":
             stream_key = (self._chip_keys[chip_id], model, seq_len)
             stream = self._stream_cache.get(stream_key)
             if stream is None:
@@ -281,11 +536,12 @@ class Cluster:
         each one's replication budget shrinks accordingly; a chip whose set
         overflows keeps the full capacity and pays streaming costs instead.
         """
+        spec = self._fleet.groups[self._chip_groups[chip.chip_id]].spec
         if len(chip.models) <= 1 or not chip.fits or chip.weight_bytes == 0:
-            return self._spec
+            return spec
         return dataclasses.replace(
-            self._spec,
-            weight_capacity_bytes=self._spec.weight_capacity_bytes
+            spec,
+            weight_capacity_bytes=spec.weight_capacity_bytes
             // len(chip.models),
         )
 

@@ -22,6 +22,16 @@ from repro.serve.traces import Request
 #: before new arrivals queue, which beat stale window timers.
 _COMPLETION, _ARRIVAL, _WINDOW = 0, 1, 2
 
+#: Chip-routing policies for fleets whose chips are not interchangeable:
+#: ``fastest`` prices the pending batch on every free hosting chip and
+#: takes the lowest latency, ``cheapest-energy`` the lowest energy, and
+#: ``round-robin`` rotates over a model's hosts regardless of cost.  On a
+#: homogeneous fleet the two cost-aware policies tie on every chip and
+#: their tiebreak degenerates to the lowest free chip id — the original
+#: dispatch rule, bit for bit; ``round-robin`` still rotates and so
+#: spreads work differently even there.
+ROUTING_POLICIES = ("fastest", "cheapest-energy", "round-robin")
+
 
 @dataclasses.dataclass(frozen=True)
 class ServedRequest:
@@ -126,11 +136,27 @@ class ServingResult:
 
 
 class ServingEngine:
-    """Run request traces against a :class:`Cluster` under one policy."""
+    """Run request traces against a :class:`Cluster` under one policy.
 
-    def __init__(self, cluster: Cluster, policy: BatchingPolicy = BatchingPolicy()) -> None:
+    ``routing`` picks which free hosting chip a ready batch dispatches to
+    (one of :data:`ROUTING_POLICIES`); it decides *where* work runs, never
+    whether it runs, so for a fixed trace every policy serves exactly the
+    same requests — only their latency and energy differ.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        policy: BatchingPolicy = BatchingPolicy(),
+        routing: str = "fastest",
+    ) -> None:
+        if routing not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing {routing!r}; available: {ROUTING_POLICIES}"
+            )
         self._cluster = cluster
         self._policy = policy
+        self._routing = routing
 
     @property
     def cluster(self) -> Cluster:
@@ -139,6 +165,10 @@ class ServingEngine:
     @property
     def policy(self) -> BatchingPolicy:
         return self._policy
+
+    @property
+    def routing(self) -> str:
+        return self._routing
 
     def run(self, trace: Sequence[Request]) -> ServingResult:
         """Simulate the whole trace to completion (closed horizon)."""
@@ -164,6 +194,43 @@ class ServingEngine:
         for request in trace:
             heapq.heappush(events, (request.arrival_ns, _ARRIVAL, seq, request))
             seq += 1
+        # Round-robin rotation state: next host index per model.
+        rr_next: Dict[str, int] = {m: 0 for m in cluster.models}
+
+        def pick_chip(model: str, free: List[int], now: float) -> int:
+            """Route the pending batch to one free hosting chip.
+
+            Cost-aware policies price the exact batch about to pop (same
+            cache key the dispatch itself uses, so homogeneous runs stay
+            simulator-call-identical); ties always break toward the lowest
+            chip id for determinism.
+            """
+            if self._routing == "round-robin":
+                hosts = cluster.chips_for(model)
+                start = rr_next[model]
+                free_set = set(free)
+                for offset in range(len(hosts)):
+                    chip = hosts[(start + offset) % len(hosts)]
+                    if chip in free_set:
+                        rr_next[model] = (start + offset + 1) % len(hosts)
+                        return chip
+                raise RuntimeError("no free chip among hosts")  # unreachable
+            _, size, padded = queues[model].peek_batch(now, policy)
+            if self._routing == "fastest":
+                return min(
+                    free,
+                    key=lambda c: (
+                        cluster.service(c, model, size, padded).latency_ns,
+                        c,
+                    ),
+                )
+            return min(
+                free,
+                key=lambda c: (
+                    cluster.service(c, model, size, padded).energy_pj,
+                    c,
+                ),
+            )
 
         def dispatch(now: float) -> None:
             nonlocal seq, n_batches, makespan
@@ -190,10 +257,11 @@ class ServingEngine:
                         continue
                     key = (queue.oldest_arrival_ns, index)
                     if best is None or key < best[0]:
-                        best = (key, model, min(free))
+                        best = (key, model, free)
                 if best is None:
                     return
-                _, model, chip = best
+                _, model, free = best
+                chip = pick_chip(model, free, now)
                 batch = queues[model].pop_batch(now, policy)
                 # The whole batch runs padded to its bucket boundary (or to
                 # its longest request without bucketing); 0 = native shape.

@@ -60,6 +60,24 @@ class ModelServingStats:
 
 
 @dataclasses.dataclass(frozen=True)
+class ChipTypeStats:
+    """Serving roll-up for one fleet group (chip type) of the cluster.
+
+    Populated for every run (a homogeneous cluster has exactly one
+    entry); the per-chip-type report section renders only when the fleet
+    is actually mixed, so homogeneous reports keep their legacy format.
+    """
+
+    chip_type: str
+    n_chips: int
+    n_requests: int  # requests whose batch ran on this group's chips
+    mean_utilization: float  # busy fraction averaged over the group
+    energy_uj: float  # total energy this group spent
+    energy_per_request_uj: float
+    goodput_rps: float  # in-SLO requests this group completed per second
+
+
+@dataclasses.dataclass(frozen=True)
 class ServingReport:
     """Cluster-wide summary of one serving simulation."""
 
@@ -79,10 +97,18 @@ class ServingReport:
     tokens_per_s: float = 0.0  # real-token goodput over the makespan
     energy_per_token_nj: float = 0.0  # energy over real (unpadded) tokens
     padding_overhead: float = 0.0  # wasted fraction of processed tokens
+    # Per-fleet-group accounting; a single entry for homogeneous clusters
+    # (has_chip_types gates the extra report section).
+    per_chip_type: Tuple[ChipTypeStats, ...] = ()
 
     @property
     def has_tokens(self) -> bool:
         return any(m.mean_seq_len > 0 for m in self.per_model)
+
+    @property
+    def has_chip_types(self) -> bool:
+        """Is this a genuinely mixed fleet worth a per-type breakdown?"""
+        return len(self.per_chip_type) > 1
 
     @property
     def slo_attainment(self) -> float:
@@ -107,12 +133,14 @@ def summarize(
     """Roll a simulation up into a :class:`ServingReport`.
 
     The SLO defaults to ``slo_multiple`` times each model's batch-1 service
-    latency on its first hosting chip — the no-queueing floor — so it
-    scales sensibly from AlexNet to LLaMA without per-model tuning.
+    latency on its best hosting chip — the no-queueing floor, independent
+    of fleet group order — so it scales sensibly from AlexNet to LLaMA
+    without per-model tuning.
     """
     duration_s = result.makespan_ns * 1e-9
     per_model = []
     met_total = 0
+    model_slo_ms: dict = {}
     for model in result.models:
         served = result.for_model(model)
         latencies_ms = [s.latency_ns * 1e-6 for s in served]
@@ -121,6 +149,7 @@ def summarize(
             if slo_ms is not None
             else slo_multiple * cluster.reference_latency_ns(model) * 1e-6
         )
+        model_slo_ms[model] = slo
         met = sum(1 for latency in latencies_ms if latency <= slo)
         met_total += met
         model_energy_pj = sum(s.energy_pj for s in served)
@@ -158,8 +187,40 @@ def summarize(
         total_energy_uj / result.n_requests if result.n_requests else 0.0
     )
     total_tokens = result.total_tokens
+    per_chip_type = []
+    utilization = result.chip_utilization
+    served_by_type: dict = {t: [] for t in cluster.chip_types}
+    for s in result.served:
+        served_by_type[cluster.chip_type(s.chip_id)].append(s)
+    for chip_type in cluster.chip_types:
+        ids = cluster.chips_of_type(chip_type)
+        served_here = served_by_type[chip_type]
+        met_here = sum(
+            1
+            for s in served_here
+            if s.latency_ns * 1e-6 <= model_slo_ms[s.request.model]
+        )
+        energy_uj = sum(s.energy_pj for s in served_here) * 1e-6
+        per_chip_type.append(
+            ChipTypeStats(
+                chip_type=chip_type,
+                n_chips=len(ids),
+                n_requests=len(served_here),
+                mean_utilization=sum(utilization[i] for i in ids) / len(ids),
+                energy_uj=energy_uj,
+                energy_per_request_uj=(
+                    energy_uj / len(served_here) if served_here else 0.0
+                ),
+                goodput_rps=met_here / duration_s if duration_s > 0 else 0.0,
+            )
+        )
+    accelerator = (
+        "+".join(cluster.chip_types)
+        if cluster.heterogeneous
+        else cluster.spec.name
+    )
     return ServingReport(
-        accelerator=cluster.spec.name,
+        accelerator=accelerator,
         n_chips=result.n_chips,
         n_requests=result.n_requests,
         n_batches=result.n_batches,
@@ -175,6 +236,7 @@ def summarize(
             result.total_energy_pj * 1e-3 / total_tokens if total_tokens else 0.0
         ),
         padding_overhead=result.padding_overhead,
+        per_chip_type=tuple(per_chip_type),
     )
 
 
@@ -182,11 +244,19 @@ def format_serving(report: ServingReport) -> str:
     """Render a serving report in the artifact style of the repo.
 
     Token-level lines and columns appear only when the run carried
-    per-request sequence lengths, so native-shape reports stay
-    byte-identical to the pre-seqlen format.
+    per-request sequence lengths, and the per-chip-type section only when
+    the fleet is genuinely mixed — so native-shape homogeneous reports
+    stay byte-identical to the pre-seqlen, pre-fleet format.
     """
+    if report.has_chip_types:
+        fleet_desc = " + ".join(
+            f"{t.n_chips} x {t.chip_type}" for t in report.per_chip_type
+        )
+        cluster_line = f"cluster           : {fleet_desc}"
+    else:
+        cluster_line = f"cluster           : {report.n_chips} x {report.accelerator}"
     lines = [
-        f"cluster           : {report.n_chips} x {report.accelerator}",
+        cluster_line,
         f"requests served   : {report.n_requests} in {report.n_batches} batches "
         f"(mean batch {report.mean_batch_size:.2f})",
         f"simulated horizon : {report.duration_s * 1e3:.3f} ms",
@@ -233,4 +303,22 @@ def format_serving(report: ServingReport) -> str:
                 f"{100 * m.padding_overhead:.1f}%",
             ]
     lines.append(format_table(tuple(header), [tuple(r) for r in rows]))
+    if report.has_chip_types:
+        lines.append("")
+        lines.append(
+            format_table(
+                ("chip type", "chips", "reqs", "util", "uJ/req", "goodput req/s"),
+                [
+                    (
+                        t.chip_type,
+                        t.n_chips,
+                        t.n_requests,
+                        f"{100 * t.mean_utilization:.1f}%",
+                        f"{t.energy_per_request_uj:.3f}",
+                        f"{t.goodput_rps:.1f}",
+                    )
+                    for t in report.per_chip_type
+                ],
+            )
+        )
     return "\n".join(lines)

@@ -156,7 +156,12 @@ def uniform_trace(model: str, rps: float, duration_s: float) -> Trace:
     _check_rate(rps, duration_s)
     n = int(rps * duration_s)
     gap_ns = 1e9 / rps
-    return _package(model, (gap_ns * (i + 1) for i in range(n)))
+    horizon_ns = duration_s * 1e9
+    # gap * n can land one ULP past the horizon (e.g. rps=7000 over
+    # 0.125 s); clamp so the final arrival never leaves the trace window.
+    return _package(
+        model, (min(gap_ns * (i + 1), horizon_ns) for i in range(n))
+    )
 
 
 def fixed_trace(model: str, arrivals_ns: Sequence[float]) -> Trace:

@@ -37,8 +37,11 @@ class TestParser:
     def test_serve_defaults(self):
         args = build_parser().parse_args(["serve"])
         assert args.model is None
-        assert args.chips == 4 and args.rps == 2000.0
+        # --chips parses to None so an explicit value is distinguishable
+        # from the default (which _serve applies only without --fleet).
+        assert args.chips is None and args.rps == 2000.0
         assert args.max_batch == 8 and args.slo_ms is None
+        assert args.fleet is None and args.routing == "fastest"
 
     def test_bad_trace_kind_rejected(self):
         with pytest.raises(SystemExit):

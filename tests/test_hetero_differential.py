@@ -1,0 +1,165 @@
+"""Differential harness: the fleet refactor is provably behavior-preserving.
+
+The golden files under ``tests/data/`` were captured from the serving
+stack *before* ``Cluster`` was generalized to heterogeneous fleets (PR 2
+state).  Three scenarios — CNN traffic, seqlen-distributed LLM traffic,
+and a partitioned pipelined multi-model run — are replayed through both
+surviving construction paths:
+
+* the legacy homogeneous constructor (``n_chips`` + ``spec``/``mode``);
+* the same cluster expressed as a single-group :class:`FleetSpec`;
+
+and both must reproduce the goldens **byte-for-byte** (the formatted
+report) and **bit-for-bit** (a sha256 digest over every served request's
+chip id, dispatch/finish timestamps via ``repr`` and energy share).  The
+CLI equivalence at the bottom is the PR's acceptance scenario: a
+``--fleet yoco:N`` invocation is indistinguishable from ``--chips N``.
+
+These are tier-1 tests: any behavioral drift in the serving stack —
+engine event ordering, cluster cost caching, metrics formatting — gates
+the merge.
+"""
+
+import hashlib
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.serve import (
+    FleetSpec,
+    fleet_group,
+    format_serving,
+    simulate_serving,
+)
+
+DATA = pathlib.Path(__file__).parent / "data"
+
+#: scenario -> (legacy simulate_serving kwargs, fleet-path overrides).
+#: The fleet override replaces n_chips/spec/mode with the equivalent
+#: single-group FleetSpec; everything else stays identical.
+SCENARIOS = {
+    "cnn_poisson": (
+        dict(
+            models=["resnet18"], n_chips=4, rps=2000.0, duration_s=0.1, seed=0
+        ),
+        dict(fleet="yoco:4"),
+    ),
+    "llm_lognormal": (
+        dict(
+            models=["gpt_large"],
+            n_chips=2,
+            rps=40.0,
+            duration_s=0.1,
+            seed=0,
+            seqlen_dist="lognormal",
+        ),
+        dict(fleet="yoco:2"),
+    ),
+    "mixed_partitioned_pipelined": (
+        dict(
+            models=["resnet18", "alexnet"],
+            n_chips=2,
+            rps=4000.0,
+            duration_s=0.05,
+            seed=1,
+            placement="partitioned",
+            mode="pipelined",
+        ),
+        dict(
+            fleet=FleetSpec((fleet_group("yoco", 2, mode="pipelined"),)),
+            placement="partitioned",
+        ),
+    ),
+}
+
+
+def served_digest(result) -> str:
+    """Bit-exact fingerprint of every request's journey.
+
+    ``repr`` of the float fields keeps full precision, so a single ULP of
+    drift in dispatch or energy accounting changes the digest.
+    """
+    lines = "\n".join(
+        f"{s.request.request_id} {s.request.model} {s.chip_id} {s.batch_size} "
+        f"{s.dispatch_ns!r} {s.finish_ns!r} {s.energy_pj!r} "
+        f"{s.seq_len} {s.padded_seq_len}"
+        for s in result.served
+    )
+    return hashlib.sha256(lines.encode()).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def golden_digests():
+    with open(DATA / "golden_serve_digests.json") as f:
+        return json.load(f)
+
+
+def _golden_text(name: str) -> str:
+    return (DATA / f"golden_serve_{name}.txt").read_text().rstrip("\n")
+
+
+def _run(legacy_kwargs, overrides=None):
+    kwargs = dict(legacy_kwargs)
+    if overrides:
+        kwargs.pop("n_chips", None)
+        kwargs.pop("mode", None)
+        kwargs.update(overrides)
+    models = kwargs.pop("models")
+    return simulate_serving(models, **kwargs)
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+class TestGoldenDifferential:
+    def test_legacy_path_reproduces_pre_refactor_golden(
+        self, scenario, golden_digests
+    ):
+        legacy, _ = SCENARIOS[scenario]
+        report, result = _run(legacy)
+        assert format_serving(report) == _golden_text(scenario)
+        assert served_digest(result) == golden_digests[scenario]
+
+    def test_fleet_path_is_bit_identical_to_legacy(
+        self, scenario, golden_digests
+    ):
+        legacy, overrides = SCENARIOS[scenario]
+        report, result = _run(legacy, overrides)
+        assert format_serving(report) == _golden_text(scenario)
+        assert served_digest(result) == golden_digests[scenario]
+
+    def test_fleet_and_legacy_agree_beyond_the_report(self, scenario):
+        """Same served tuples object-for-object, not just same digest."""
+        legacy, overrides = SCENARIOS[scenario]
+        _, a = _run(legacy)
+        _, b = _run(legacy, overrides)
+        assert a.served == b.served
+        assert a.chip_busy_ns == b.chip_busy_ns
+        assert a.makespan_ns == b.makespan_ns
+        assert a.n_batches == b.n_batches
+
+
+class TestCliAcceptance:
+    """`repro serve --fleet yoco:N` == `--chips N`, byte for byte."""
+
+    ARGS = ["serve", "--model", "resnet18", "--rps", "2000", "--seed", "0"]
+
+    def _capture(self, capsys, extra):
+        assert main(self.ARGS + extra) == 0
+        return capsys.readouterr().out
+
+    def test_chips_output_matches_golden(self, capsys):
+        golden = (DATA / "golden_cli_serve_resnet18.txt").read_text()
+        assert self._capture(capsys, ["--chips", "4"]) == golden
+
+    def test_fleet_output_matches_golden(self, capsys):
+        golden = (DATA / "golden_cli_serve_resnet18.txt").read_text()
+        assert self._capture(capsys, ["--fleet", "yoco:4"]) == golden
+
+    def test_hetero_fleet_is_deterministic_and_typed(self, capsys):
+        extra = ["--fleet", "yoco:8,isaac:4", "--duration", "0.05"]
+        first = self._capture(capsys, extra)
+        second = self._capture(capsys, extra)
+        assert first == second
+        assert "8 x yoco + 4 x isaac" in first
+        assert "chip type" in first  # the per-chip-type columns rendered

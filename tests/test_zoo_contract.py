@@ -9,7 +9,11 @@ suite never instantiates:
 
 * ``run_batch(w, 1) == run(w)`` — exact float equality, not approx: the
   engine's batch-1 energy accounting is defined as *identical* to the
-  single-inference roll-up;
+  single-inference roll-up — and not just for YOCO: every registered
+  fleet chip type (the ISAAC/TIMELY/RAELLA baseline re-models behind
+  :func:`repro.serve.fleet.backend_for`) must honor it, because a
+  heterogeneous cluster's energy accounting leans on the invariant for
+  whichever backend a batch happens to route to;
 * ``replication_budget`` / ``overflow_layers`` are consistent with the
   spec's weight capacity and with each other.
 """
@@ -18,6 +22,7 @@ import pytest
 
 from repro.arch import ArchitectureSimulator, yoco_spec
 from repro.models import BENCHMARK_MODELS, get_workload
+from repro.serve.fleet import CHIP_TYPES, backend_for, fleet_group
 
 
 @pytest.fixture(scope="module")
@@ -25,12 +30,17 @@ def workloads():
     return {name: get_workload(name) for name in BENCHMARK_MODELS}
 
 
+@pytest.mark.parametrize("chip_type", sorted(CHIP_TYPES))
 @pytest.mark.parametrize("name", BENCHMARK_MODELS)
 @pytest.mark.parametrize("resident", (True, False), ids=("resident", "streaming"))
 class TestBatchOneContract:
-    def test_run_batch_one_is_run_exactly(self, name, resident, workloads):
+    def test_run_batch_one_is_run_exactly(
+        self, name, resident, chip_type, workloads
+    ):
         workload = workloads[name]
-        sim = ArchitectureSimulator(yoco_spec(), weights_resident=resident)
+        sim = backend_for(
+            fleet_group(chip_type, n_chips=1), weights_resident=resident
+        )
         run = sim.run(workload)
         batch = sim.run_batch(workload, 1)
         # Exact equality — by construction, not within tolerance.
@@ -40,6 +50,26 @@ class TestBatchOneContract:
         assert batch.batch_size == 1
         assert batch.energy_per_inference_pj == run.energy_pj
         assert batch.latency_per_inference_ns == run.latency_ns
+
+    def test_pipelined_stream_is_consistent(
+        self, name, resident, chip_type, workloads
+    ):
+        """The third contract output, for every backend a group may run
+        ``pipelined``: energy rides on the same batch-1 roll-up and the
+        steady interval can never beat the pipeline fill."""
+        workload = workloads[name]
+        sim = backend_for(
+            fleet_group(chip_type, n_chips=1), weights_resident=resident
+        )
+        stream = sim.run_layer_pipelined(workload)
+        assert stream.run == sim.run(workload)
+        assert stream.interval_ns > 0
+        assert stream.fill_ns > 0
+        assert stream.oversubscription >= 1.0
+        if stream.oversubscription == 1.0:
+            # With no unit time-sharing the steady interval (slowest layer,
+            # or the serialized off-chip stream) cannot beat the fill.
+            assert stream.interval_ns <= stream.fill_ns
 
 
 @pytest.mark.parametrize("name", BENCHMARK_MODELS)
