@@ -14,11 +14,14 @@ models (any of the `repro.serve` seqlen distributions); the table then
 adds token goodput and padding overhead, still under identical traffic
 *and* identical context lengths for every accelerator.
 
-The campaign closes with a *mixed-fleet* scenario: the same traffic on a
+The campaign closes with a *mixed-fleet* scenario — the same traffic on a
 half-YOCO/half-ISAAC heterogeneous cluster under each routing policy,
-with the per-chip-type breakdown the fleet report adds — the question a
-capacity planner actually asks ("what does mixing buy, and where does
-the traffic land?").
+with the per-chip-type breakdown the fleet report adds — and a *power
+envelope* scenario: the same mixed fleet under a tightening per-chip
+power cap (`repro.serve.power`), where batches on a group over its
+pooled budget are DVFS-stretched.  That turns the paper's TOPS/W
+headline into the question a datacenter actually asks: how much goodput
+survives inside a fixed wattage?
 
 Run:  python examples/serving_campaign.py [model] [chips] [seqlen_dist]
       (defaults: resnet18 on 4 chips; try vit, qdqbert, gpt_large, ...)
@@ -117,6 +120,7 @@ def main() -> None:
         )
 
     mixed_fleet_scenario(model, chips, 0.6 * peak_rps, seqlen_dist)
+    power_envelope_scenario(model, chips, 1.2 * peak_rps)
 
 
 def mixed_fleet_scenario(model, chips, rps, seqlen_dist):
@@ -157,6 +161,63 @@ def mixed_fleet_scenario(model, chips, rps, seqlen_dist):
         "chips and spills to ISAAC only under pressure; round-robin shows\n"
         "what blind load balancing costs on a heterogeneous fleet.\n"
     )
+
+
+def power_envelope_scenario(model, chips, rps):
+    """The same mixed fleet squeezed through a tightening power envelope.
+
+    Caps are per chip (a group pools its chips' budgets); the sweep walks
+    from uncapped down to just above ISAAC's idle/leakage floor, where
+    the throttle has to stretch nearly every ISAAC batch.
+    """
+    yoco_chips = max(1, chips // 2)
+    isaac_chips = max(1, chips - yoco_chips)
+    fleet = f"yoco:{yoco_chips},isaac:{isaac_chips}"
+    print(section(f"Power envelope — {fleet}, {rps:.0f} req/s, cap sweep"))
+    rows = []
+    throttled = False
+    for cap in (None, 4.0, 3.2, 3.0):
+        kwargs = {} if cap is None else dict(power_cap_w=cap)
+        report, result = simulate_serving(
+            [model], rps=rps, seed=0, fleet=fleet, **kwargs
+        )
+        if not report.per_model:
+            print("(load too low for the simulated horizon — no arrivals)\n")
+            return
+        groups = result.power.groups if result.power else ()
+        throttled = throttled or any(g.stall_ns > 0 for g in groups)
+        rows.append(
+            (
+                "-" if cap is None else f"{cap:g}",
+                f"{report.goodput_rps:.0f}",
+                f"{report.per_model[0].p99_ms:.3f}",
+                f"{report.energy_per_request_uj:.2f}",
+                " ".join(f"{g.name}:{g.avg_w:.2f}" for g in groups) or "-",
+                " ".join(
+                    f"{g.name}:{g.stall_ns * 1e-6:.1f}" for g in groups
+                )
+                or "-",
+            )
+        )
+    print(format_table(
+        ("cap W/chip", "goodput req/s", "p99 ms", "uJ/req", "avg W by group",
+         "stall ms by group"),
+        rows,
+    ))
+    if throttled:
+        print(
+            "ISAAC's leakage floor nearly fills a tight per-chip budget,\n"
+            "so the governor stretches its batches (DVFS) while YOCO — an\n"
+            "order of magnitude more efficient — serves the same envelope\n"
+            "without throttling: sub-PetaOps/W as a deployment property,\n"
+            "not a datasheet line.\n"
+        )
+    else:
+        print(
+            "At this load no group's draw reaches the swept caps — raise\n"
+            "the offered traffic (or tighten the caps) to watch the\n"
+            "throttle engage.\n"
+        )
 
 
 if __name__ == "__main__":

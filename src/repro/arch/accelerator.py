@@ -87,6 +87,16 @@ class AcceleratorSpec:
         """Peak compute-only energy efficiency."""
         return 2 * self.macs_per_vmm / self.unit_vmm_energy_pj
 
+    @property
+    def peak_watts(self) -> float:
+        """Draw with every unit computing flat out (peak TOPS over TOPS/W).
+
+        The anchor the serving power model scales from: a chip's
+        idle/leakage floor is a configured fraction of this number, and a
+        power cap is only meaningful somewhere below it.
+        """
+        return self.peak_tops / self.peak_tops_per_watt
+
 
 def yoco_spec(config: "ChipConfig | None" = None) -> AcceleratorSpec:
     """YOCO as an :class:`AcceleratorSpec`, derived from Table II."""

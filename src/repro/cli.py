@@ -26,6 +26,17 @@ placement and routing knobs:
     python -m repro serve --fleet yoco:2,isaac:2:pipelined \
         --model resnet18 --model gpt_large --placement cost-energy \
         --routing cheapest-energy
+
+``--power-cap`` / ``--thermal-tau`` / ``--t-max`` run the whole
+simulation under a power/thermal envelope (:mod:`repro.serve.power`):
+batches on a group over its cap or thermal limit are DVFS-stretched, and
+the report gains per-group watts, over-cap/stall shares and peak
+temperature:
+
+    python -m repro serve --model resnet18 --chips 4 --rps 20000 \
+        --power-cap 0.5
+    python -m repro serve --fleet yoco:2,isaac:2 --rps 20000 \
+        --power-cap 3.0 --t-max 60 --thermal-tau 0.005
 """
 
 from __future__ import annotations
@@ -120,6 +131,15 @@ def _serve(args: argparse.Namespace) -> str:
         seqlen_buckets=_parse_buckets(args.seqlen_buckets),
         fleet=fleet,
         routing=args.routing,
+        power_cap_w=args.power_cap,
+        # --thermal-tau alone constrains nothing; forwarding it anyway
+        # would spin up a governor whose trace the CLI never shows.
+        thermal_tau_s=(
+            args.thermal_tau
+            if args.power_cap is not None or args.t_max is not None
+            else None
+        ),
+        t_max_c=args.t_max,
     )
     header = (
         f"traffic           : {','.join(models)} @ {args.rps:g} req/s "
@@ -130,6 +150,10 @@ def _serve(args: argparse.Namespace) -> str:
         header += (
             f"\nsequence lengths  : {args.seqlen_dist} (mean {mean})"
         )
+    if args.power_cap is not None or args.t_max is not None:
+        cap = "-" if args.power_cap is None else f"{args.power_cap:g} W/chip"
+        t_max = "-" if args.t_max is None else f"{args.t_max:g} C"
+        header += f"\npower envelope    : cap {cap}, t-max {t_max}"
     return header + "\n" + format_serving(report)
 
 
@@ -308,6 +332,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated padding boundaries for seqlen bucketing, e.g. "
         "256,512,1024 (default: power-of-two buckets covering the samples)",
+    )
+    serve.add_argument(
+        "--power-cap",
+        type=float,
+        default=None,
+        help="per-chip power cap in watts (a group pools its chips' "
+        "budgets); batches on a group over its cap are DVFS-stretched",
+    )
+    serve.add_argument(
+        "--thermal-tau",
+        type=float,
+        default=None,
+        help="thermal RC time constant in seconds "
+        "(default: 0.005; only meaningful with --power-cap/--t-max)",
+    )
+    serve.add_argument(
+        "--t-max",
+        type=float,
+        default=None,
+        help="thermal limit in deg C; a group above it throttles until "
+        "it cools back below the hysteresis margin",
     )
     serve.add_argument(
         "--mode",

@@ -23,6 +23,7 @@ from repro.energy.units import (
     tops,
     tops_per_watt,
     um2_to_mm2,
+    watts,
 )
 
 __all__ = [
@@ -45,4 +46,5 @@ __all__ = [
     "tops",
     "tops_per_watt",
     "um2_to_mm2",
+    "watts",
 ]

@@ -55,5 +55,17 @@ def tops(ops: float, seconds: float) -> float:
 def tops_per_watt(ops: float, joules: float) -> float:
     """Energy efficiency in TOPS/W (equivalently tera-ops per joule)."""
     if joules <= 0.0:
-        raise ValueError("joules must be positive")
+        raise ValueError(
+            f"TOPS/W needs a positive energy, got {joules!r} J "
+            "(a zero-energy result has no defined efficiency)"
+        )
     return ops / joules / TERA
+
+
+def watts(joules: float, seconds: float) -> float:
+    """Average power draw of ``joules`` spent over ``seconds``."""
+    if seconds <= 0.0:
+        raise ValueError(
+            f"average watts need a positive duration, got {seconds!r} s"
+        )
+    return joules / seconds

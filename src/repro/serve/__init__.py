@@ -20,6 +20,14 @@ energy per token, and the padding overhead:
         ["gpt_large"], n_chips=2, rps=40, seqlen_dist="lognormal", seed=0
     )
 
+Fleets can also run under a power/thermal envelope
+(:mod:`repro.serve.power`): a per-chip power cap and/or a thermal limit
+throttle dispatched batches DVFS-style, coupling watts back into latency:
+
+    report, _ = simulate_serving(
+        ["resnet18"], n_chips=4, rps=20000, power_cap_w=0.5, seed=0
+    )
+
 The same entry point backs ``python -m repro serve`` and the
 ``benchmarks/bench_serving.py`` suite.
 """
@@ -72,6 +80,15 @@ from repro.serve.metrics import (
     percentile,
     summarize,
 )
+from repro.serve.power import (
+    GroupPowerTrace,
+    PowerConfig,
+    PowerGovernor,
+    PowerModel,
+    PowerTrace,
+    ThermalNode,
+    ThrottlePolicy,
+)
 from repro.serve.traces import (
     Request,
     SEQLEN_DISTS,
@@ -102,10 +119,15 @@ __all__ = [
     "ClusterPlan",
     "FleetGroup",
     "FleetSpec",
+    "GroupPowerTrace",
     "MODES",
     "ModelQueue",
     "ModelServingStats",
     "PLACEMENTS",
+    "PowerConfig",
+    "PowerGovernor",
+    "PowerModel",
+    "PowerTrace",
     "ROUTING_POLICIES",
     "Request",
     "SEQLEN_DISTS",
@@ -114,6 +136,8 @@ __all__ = [
     "ServingReport",
     "ServingResult",
     "TRACE_KINDS",
+    "ThermalNode",
+    "ThrottlePolicy",
     "backend_for",
     "bucket_for",
     "bursty_trace",
@@ -166,6 +190,10 @@ def simulate_serving(
     seqlen_buckets: Optional[Sequence[int]] = None,
     fleet: Optional[Union[FleetSpec, str]] = None,
     routing: str = "fastest",
+    power: Optional[PowerConfig] = None,
+    power_cap_w: Optional[float] = None,
+    thermal_tau_s: Optional[float] = None,
+    t_max_c: Optional[float] = None,
 ) -> Tuple[ServingReport, ServingResult]:
     """End-to-end serving run: build trace + cluster, simulate, summarize.
 
@@ -194,9 +222,37 @@ def simulate_serving(
     buckets covering the sampled lengths are derived automatically
     whenever a distribution is active.  CNN workloads carry no sequence
     length and are unaffected by all three knobs.
+
+    ``power`` runs the simulation under a full
+    :class:`repro.serve.power.PowerConfig` envelope; the scalar knobs
+    ``power_cap_w`` (watts per chip), ``thermal_tau_s`` and ``t_max_c``
+    build one with defaults for everything else (and are incompatible
+    with an explicit ``power``).  With no cap and no thermal limit the
+    governor only records the power trace — the simulation itself is
+    float-for-float identical to the power-blind path.
     """
     if not models:
         raise ValueError("need at least one model to serve")
+    if power is not None and (
+        power_cap_w is not None
+        or thermal_tau_s is not None
+        or t_max_c is not None
+    ):
+        raise ValueError(
+            "pass either a full PowerConfig or the scalar power knobs, "
+            "not both"
+        )
+    if power is None and (
+        power_cap_w is not None
+        or thermal_tau_s is not None
+        or t_max_c is not None
+    ):
+        tau_kwargs = (
+            {} if thermal_tau_s is None else {"thermal_tau_s": thermal_tau_s}
+        )
+        power = PowerConfig(
+            power_cap_w=power_cap_w, t_max_c=t_max_c, **tau_kwargs
+        )
     if seqlen_dist is not None and seqlen_dist not in SEQLEN_DISTS:
         raise ValueError(
             f"unknown seqlen dist {seqlen_dist!r}; available: {SEQLEN_DISTS}"
@@ -250,6 +306,8 @@ def simulate_serving(
         window_ns=window_ms * 1e6,
         seqlen_buckets=buckets,
     )
-    result = ServingEngine(cluster, policy, routing=routing).run(trace)
+    result = ServingEngine(cluster, policy, routing=routing, power=power).run(
+        trace
+    )
     report = summarize(result, cluster, slo_ms=slo_ms)
     return report, result

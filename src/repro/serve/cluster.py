@@ -419,6 +419,15 @@ class Cluster:
         """Group names in declaration order."""
         return tuple(g.name for g in self._fleet.groups)
 
+    @property
+    def chip_group_indices(self) -> Tuple[int, ...]:
+        """Fleet group index of every global chip id, in id order.
+
+        The O(1) chip-to-group map consumers with per-group state (the
+        power governor, per-type metrics) index into on the hot path.
+        """
+        return self._chip_groups
+
     def group_of(self, chip_id: int) -> FleetGroup:
         return self._fleet.groups[self._chip_groups[chip_id]]
 

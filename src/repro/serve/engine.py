@@ -12,10 +12,11 @@ from __future__ import annotations
 
 import dataclasses
 import heapq
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.serve.batching import BatchingPolicy, ModelQueue
 from repro.serve.cluster import Cluster
+from repro.serve.power import PowerConfig, PowerGovernor, PowerTrace
 from repro.serve.traces import Request
 
 #: Event kinds, in same-timestamp processing order: completions free chips
@@ -70,7 +71,12 @@ class ServedRequest:
 
 @dataclasses.dataclass(frozen=True)
 class ServingResult:
-    """Everything one simulation run produced."""
+    """Everything one simulation run produced.
+
+    ``power`` carries the governor's per-group power/thermal trace when
+    the run simulated one (:class:`repro.serve.power.PowerConfig` passed
+    to the engine); ``None`` on the legacy power-blind path.
+    """
 
     served: Tuple[ServedRequest, ...]
     n_chips: int
@@ -78,6 +84,7 @@ class ServingResult:
     makespan_ns: float  # first arrival epoch (t=0) to last batch completion
     n_batches: int
     policy: BatchingPolicy
+    power: Optional[PowerTrace] = None
 
     @property
     def n_requests(self) -> int:
@@ -142,6 +149,16 @@ class ServingEngine:
     (one of :data:`ROUTING_POLICIES`); it decides *where* work runs, never
     whether it runs, so for a fixed trace every policy serves exactly the
     same requests — only their latency and energy differ.
+
+    ``power`` runs the whole simulation under a
+    :class:`repro.serve.power.PowerConfig` envelope: every event advances
+    the per-group power/thermal integration, every dispatched batch asks
+    the governor for its *effective* (possibly throttle-stretched) service
+    time, and the cost-aware routing policies price batches at the
+    throttled latency of a hot group.  An unconstrained config (no cap, no
+    thermal limit) only records the power trace — every slowdown factor is
+    exactly 1.0 and the simulation is float-for-float identical to the
+    power-blind path.
     """
 
     def __init__(
@@ -149,6 +166,7 @@ class ServingEngine:
         cluster: Cluster,
         policy: BatchingPolicy = BatchingPolicy(),
         routing: str = "fastest",
+        power: Optional[PowerConfig] = None,
     ) -> None:
         if routing not in ROUTING_POLICIES:
             raise ValueError(
@@ -157,6 +175,7 @@ class ServingEngine:
         self._cluster = cluster
         self._policy = policy
         self._routing = routing
+        self._power = power
 
     @property
     def cluster(self) -> Cluster:
@@ -170,9 +189,27 @@ class ServingEngine:
     def routing(self) -> str:
         return self._routing
 
+    @property
+    def power(self) -> Optional[PowerConfig]:
+        return self._power
+
     def run(self, trace: Sequence[Request]) -> ServingResult:
         """Simulate the whole trace to completion (closed horizon)."""
         cluster, policy = self._cluster, self._policy
+        governor = (
+            PowerGovernor(cluster, self._power)
+            if self._power is not None
+            else None
+        )
+        # Routing consults the governor only when an envelope actually
+        # binds: an unconstrained governor traces power but must leave
+        # every routing key — including the cheapest-energy tie-break —
+        # exactly as the power-blind path computes it.
+        throttler = (
+            governor
+            if governor is not None and self._power.constrained
+            else None
+        )
         known = set(cluster.models)
         for request in trace:
             if request.model not in known:
@@ -216,6 +253,31 @@ class ServingEngine:
                         return chip
                 raise RuntimeError("no free chip among hosts")  # unreachable
             _, size, padded = queues[model].peek_batch(now, policy)
+            if throttler is not None:
+                # Throttle-aware pricing: a hot group's batches cost the
+                # *stretched* latency, so `fastest` steers around heat and
+                # `cheapest-energy` breaks energy ties toward the cooler
+                # group.
+                if self._routing == "fastest":
+                    return min(
+                        free,
+                        key=lambda c: (
+                            throttler.priced_latency(
+                                c, cluster.service(c, model, size, padded)
+                            ),
+                            c,
+                        ),
+                    )
+
+                def energy_key(c: int) -> tuple:
+                    service = cluster.service(c, model, size, padded)
+                    return (
+                        service.energy_pj,
+                        throttler.priced_latency(c, service),
+                        c,
+                    )
+
+                return min(free, key=energy_key)
             if self._routing == "fastest":
                 return min(
                     free,
@@ -267,9 +329,13 @@ class ServingEngine:
                 # its longest request without bucketing); 0 = native shape.
                 padded = batch.padded_seq_len
                 cost = cluster.service(chip, model, batch.size, padded)
-                finish = now + cost.latency_ns
+                if governor is not None:
+                    service_ns = governor.admit(chip, now, cost)
+                else:
+                    service_ns = cost.latency_ns
+                finish = now + service_ns
                 chip_free[chip] = finish
-                chip_busy[chip] += cost.latency_ns
+                chip_busy[chip] += service_ns
                 makespan = max(makespan, finish)
                 share = cost.energy_pj / batch.size
                 for request in batch.requests:
@@ -291,6 +357,10 @@ class ServingEngine:
 
         while events:
             now, kind, _, payload = heapq.heappop(events)
+            if governor is not None:
+                # Power is piecewise constant between events, so advancing
+                # the governor exactly here makes the integration exact.
+                governor.advance(now)
             if kind == _ARRIVAL:
                 queues[payload.model].push(payload)
             dispatch(now)
@@ -306,4 +376,5 @@ class ServingEngine:
             makespan_ns=makespan,
             n_batches=n_batches,
             policy=policy,
+            power=governor.finish() if governor is not None else None,
         )

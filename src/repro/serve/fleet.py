@@ -81,6 +81,16 @@ class FleetGroup:
         if not self.name:
             object.__setattr__(self, "name", self.chip_type)
 
+    @property
+    def peak_watts(self) -> float:
+        """Whole-group draw with every chip computing flat out.
+
+        The ceiling the power governor's per-group envelope is set
+        against; a group's idle/leakage floor is a configured fraction of
+        this (see :class:`repro.serve.power.PowerConfig.idle_fraction`).
+        """
+        return self.n_chips * self.spec.peak_watts
+
     def replication_budget(self, workload: WorkloadSpec) -> int:
         """Data-parallel replica ceiling for one model in this group.
 

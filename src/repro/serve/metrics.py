@@ -15,6 +15,7 @@ from typing import Optional, Sequence, Tuple
 from repro.experiments.report import format_table
 from repro.serve.cluster import Cluster
 from repro.serve.engine import ServingResult
+from repro.serve.power import PowerTrace
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -75,6 +76,11 @@ class ChipTypeStats:
     energy_uj: float  # total energy this group spent
     energy_per_request_uj: float
     goodput_rps: float  # in-SLO requests this group completed per second
+    #: Average active draw per chip while serving (group energy over the
+    #: group's summed busy time) — derived from the result alone, so
+    #: heterogeneous power comparisons work without enabling the power
+    #: governor at all.  0.0 when the group never served a batch.
+    watts: float = 0.0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -100,6 +106,10 @@ class ServingReport:
     # Per-fleet-group accounting; a single entry for homogeneous clusters
     # (has_chip_types gates the extra report section).
     per_chip_type: Tuple[ChipTypeStats, ...] = ()
+    # The power governor's per-group trace; None on power-blind runs
+    # (has_power gates the power section so unconstrained runs keep the
+    # legacy report byte for byte).
+    power: Optional[PowerTrace] = None
 
     @property
     def has_tokens(self) -> bool:
@@ -109,6 +119,16 @@ class ServingReport:
     def has_chip_types(self) -> bool:
         """Is this a genuinely mixed fleet worth a per-type breakdown?"""
         return len(self.per_chip_type) > 1
+
+    @property
+    def has_power(self) -> bool:
+        """Did a *binding* envelope (cap or thermal limit) run the show?
+
+        An unconstrained governor run still carries its trace on
+        :attr:`power` for programmatic use, but only a constrained one
+        renders the power section — the golden-guarded gating.
+        """
+        return self.power is not None and self.power.constrained
 
     @property
     def slo_attainment(self) -> float:
@@ -200,7 +220,9 @@ def summarize(
             for s in served_here
             if s.latency_ns * 1e-6 <= model_slo_ms[s.request.model]
         )
-        energy_uj = sum(s.energy_pj for s in served_here) * 1e-6
+        energy_pj = sum(s.energy_pj for s in served_here)
+        energy_uj = energy_pj * 1e-6
+        busy_ns = sum(result.chip_busy_ns[i] for i in ids)
         per_chip_type.append(
             ChipTypeStats(
                 chip_type=chip_type,
@@ -212,6 +234,8 @@ def summarize(
                     energy_uj / len(served_here) if served_here else 0.0
                 ),
                 goodput_rps=met_here / duration_s if duration_s > 0 else 0.0,
+                # pJ/ns is mW, so this is the busy-time average in watts.
+                watts=energy_pj / busy_ns * 1e-3 if busy_ns > 0 else 0.0,
             )
         )
     accelerator = (
@@ -237,6 +261,7 @@ def summarize(
         ),
         padding_overhead=result.padding_overhead,
         per_chip_type=tuple(per_chip_type),
+        power=result.power,
     )
 
 
@@ -244,9 +269,11 @@ def format_serving(report: ServingReport) -> str:
     """Render a serving report in the artifact style of the repo.
 
     Token-level lines and columns appear only when the run carried
-    per-request sequence lengths, and the per-chip-type section only when
-    the fleet is genuinely mixed — so native-shape homogeneous reports
-    stay byte-identical to the pre-seqlen, pre-fleet format.
+    per-request sequence lengths, the per-chip-type section only when the
+    fleet is genuinely mixed, and the power section only when a binding
+    power/thermal envelope was configured — so native-shape homogeneous
+    uncapped reports stay byte-identical to the pre-seqlen, pre-fleet,
+    pre-power format.
     """
     if report.has_chip_types:
         fleet_desc = " + ".join(
@@ -307,7 +334,8 @@ def format_serving(report: ServingReport) -> str:
         lines.append("")
         lines.append(
             format_table(
-                ("chip type", "chips", "reqs", "util", "uJ/req", "goodput req/s"),
+                ("chip type", "chips", "reqs", "util", "uJ/req",
+                 "goodput req/s", "busy W/chip"),
                 [
                     (
                         t.chip_type,
@@ -316,9 +344,48 @@ def format_serving(report: ServingReport) -> str:
                         f"{100 * t.mean_utilization:.1f}%",
                         f"{t.energy_per_request_uj:.3f}",
                         f"{t.goodput_rps:.1f}",
+                        f"{t.watts:.3f}",
                     )
                     for t in report.per_chip_type
                 ],
             )
         )
+    if report.has_power:
+        trace = report.power
+        horizon = trace.horizon_ns
+        lines.append("")
+        lines.append(
+            format_table(
+                ("chip group", "cap W", "avg W", "peak W", "over-cap",
+                 "stall", "peak C"),
+                [
+                    (
+                        g.name,
+                        "-" if g.cap_w is None else f"{g.cap_w:.2f}",
+                        f"{g.avg_w:.3f}",
+                        f"{g.peak_w:.3f}",
+                        (
+                            f"{100 * g.over_cap_ns / horizon:.1f}%"
+                            if horizon > 0
+                            else "0.0%"
+                        ),
+                        # Throttle-added service time as a share of the
+                        # group's total chip-time over the horizon.
+                        (
+                            f"{100 * g.stall_ns / (horizon * g.n_chips):.1f}%"
+                            if horizon > 0
+                            else "0.0%"
+                        ),
+                        f"{g.peak_temp_c:.1f}",
+                    )
+                    for g in trace.groups
+                ],
+            )
+        )
+        infeasible = [g.name for g in trace.groups if not g.feasible]
+        if infeasible:
+            lines.append(
+                f"(cap below the idle floor of {', '.join(infeasible)} — "
+                "unattainable; pinned at max slowdown)"
+            )
     return "\n".join(lines)

@@ -12,6 +12,7 @@ from repro.energy import (
     tops,
     tops_per_watt,
     um2_to_mm2,
+    watts,
 )
 
 
@@ -35,6 +36,20 @@ class TestUnits:
     def test_rejects_zero_time(self):
         with pytest.raises(ValueError):
             tops(1.0, 0.0)
+
+    @pytest.mark.parametrize("joules", [0.0, -1e-9])
+    def test_tops_per_watt_rejects_non_positive_energy(self, joules):
+        # A clear ValueError, never a bare ZeroDivisionError.
+        with pytest.raises(ValueError, match="positive energy"):
+            tops_per_watt(1e12, joules)
+
+    def test_watts(self):
+        assert watts(2.0, 4.0) == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("seconds", [0.0, -1.0])
+    def test_watts_rejects_non_positive_duration(self, seconds):
+        with pytest.raises(ValueError, match="positive duration"):
+            watts(1.0, seconds)
 
 
 class TestAction:

@@ -106,3 +106,12 @@ class TestRunResult:
         assert breakdown["compute"] == pytest.approx(400.0)
         assert breakdown["data_movement"] == pytest.approx(20.0)
         assert run.mean_utilization() == pytest.approx(0.5)
+
+    def test_zero_energy_efficiency_is_a_clear_error(self):
+        # A layer-free (zero-energy) result has no defined TOPS/W; it must
+        # raise the units helper's ValueError, not a ZeroDivisionError.
+        empty = RunResult(
+            accelerator="yoco", workload="toy", total_ops=1_000_000, layers=()
+        )
+        with pytest.raises(ValueError, match="positive energy"):
+            empty.efficiency_tops_per_watt
