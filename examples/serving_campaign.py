@@ -16,12 +16,16 @@ adds token goodput and padding overhead, still under identical traffic
 
 The campaign closes with a *mixed-fleet* scenario — the same traffic on a
 half-YOCO/half-ISAAC heterogeneous cluster under each routing policy,
-with the per-chip-type breakdown the fleet report adds — and a *power
+with the per-chip-type breakdown the fleet report adds — a *power
 envelope* scenario: the same mixed fleet under a tightening per-chip
 power cap (`repro.serve.power`), where batches on a group over its
-pooled budget are DVFS-stretched.  That turns the paper's TOPS/W
-headline into the question a datacenter actually asks: how much goodput
-survives inside a fixed wattage?
+pooled budget are DVFS-stretched — and a *closed-loop* scenario
+(`repro.serve.clients`): a growing population of sessions that block on
+completion and think between requests, walked past the saturation knee,
+then held there behind SLO-aware admission control
+(`repro.serve.admission`).  That turns the paper's TOPS/W headline into
+the questions a datacenter actually asks: how much goodput survives
+inside a fixed wattage, and how many concurrent users fit at the SLO?
 
 Run:  python examples/serving_campaign.py [model] [chips] [seqlen_dist]
       (defaults: resnet18 on 4 chips; try vit, qdqbert, gpt_large, ...)
@@ -33,7 +37,14 @@ import sys
 from repro.baselines import isaac_spec, raella_spec, timely_spec
 from repro.experiments.report import format_ratio, format_table, section
 from repro.models import BENCHMARK_MODELS
-from repro.serve import ROUTING_POLICIES, SEQLEN_DISTS, simulate_serving
+from repro.models.zoo import get_workload
+from repro.serve import (
+    Cluster,
+    ROUTING_POLICIES,
+    SEQLEN_DISTS,
+    estimated_saturation_clients,
+    simulate_serving,
+)
 
 SPECS = {
     "yoco": None,  # simulate_serving defaults to the YOCO spec
@@ -121,6 +132,7 @@ def main() -> None:
 
     mixed_fleet_scenario(model, chips, 0.6 * peak_rps, seqlen_dist)
     power_envelope_scenario(model, chips, 1.2 * peak_rps)
+    closed_loop_scenario(model, chips)
 
 
 def mixed_fleet_scenario(model, chips, rps, seqlen_dist):
@@ -218,6 +230,67 @@ def power_envelope_scenario(model, chips, rps):
             "the offered traffic (or tighten the caps) to watch the\n"
             "throttle engage.\n"
         )
+
+
+def closed_loop_scenario(model, chips, think_ms=1.0):
+    """How many concurrent users does the cluster hold at its SLO?
+
+    A closed-loop population (sessions block on completion, think
+    ``think_ms``, issue the next request) is walked across the analytic
+    saturation knee; past it, every added session only deepens queues, so
+    the final rows re-run the over-knee population behind a queue-depth
+    cap — bounding the backlog each accepted request can hide behind —
+    with and without retry-with-backoff.
+    """
+    cluster = Cluster([get_workload(model)], n_chips=chips)
+    knee = estimated_saturation_clients(cluster, think_time_ms=think_ms)
+    print(section(
+        f"Closed loop — {model} on {chips} YOCO chips, think {think_ms:g} ms "
+        f"(analytic knee ~{knee:.0f} clients)"
+    ))
+    rows = []
+    populations = sorted(
+        {max(1, round(knee * f)) for f in (0.25, 0.5, 1.0, 2.0, 4.0)}
+    )
+    sweeps = [(n, None, None) for n in populations]
+    over_knee = populations[-1]
+    cap = f"queue-cap:{12 * chips}"
+    sweeps += [(over_knee, cap, None), (over_knee, cap, 3)]
+    for n_clients, admission, retries in sweeps:
+        report, result = simulate_serving(
+            [model], n_chips=chips, clients=n_clients, think_time_ms=think_ms,
+            seed=0, admission=admission, retry=retries,
+        )
+        if not report.per_model:
+            print("(horizon too short for this think time — no requests)\n")
+            return
+        label = admission or "-"
+        if retries:
+            label += f" +{retries} retries"
+        rows.append(
+            (
+                n_clients,
+                label,
+                f"{report.throughput_rps:.0f}",
+                f"{report.goodput_rps:.0f}",
+                f"{report.per_model[0].p99_ms:.3f}",
+                f"{100 * report.rejection_rate:.1f}%",
+                f"{100 * report.mean_chip_utilization:.0f}%",
+            )
+        )
+    print(format_table(
+        ("clients", "admission", "req/s", "goodput req/s", "p99 ms", "shed",
+         "mean util"),
+        rows,
+    ))
+    print(
+        "Throughput climbs with the population until the chips saturate\n"
+        "near the analytic knee; past it goodput collapses into queueing.\n"
+        "Capping the queue depth sheds the excess at the door — the p99 of\n"
+        "what *is* accepted falls back toward the knee-level latency — and\n"
+        "retry-with-backoff turns most hard drops into served requests,\n"
+        "paying for each recovery in (client-perceived) tail latency.\n"
+    )
 
 
 if __name__ == "__main__":

@@ -37,6 +37,16 @@ temperature:
         --power-cap 0.5
     python -m repro serve --fleet yoco:2,isaac:2 --rps 20000 \
         --power-cap 3.0 --t-max 60 --thermal-tau 0.005
+
+``--clients`` switches from the open-loop trace to a closed-loop client
+population (N sessions that block on completion and think between
+requests), and ``--admission`` puts an admission-control policy in front
+of the queues in either mode:
+
+    python -m repro serve --model resnet18 --chips 4 --clients 64 \
+        --think-time 2 --retries 3 --admission queue-cap:32
+    python -m repro serve --model resnet18 --chips 2 --rps 100000 \
+        --admission slo-aware
 """
 
 from __future__ import annotations
@@ -62,12 +72,15 @@ from repro.experiments import (
 )
 from repro.experiments.report import section
 from repro.serve import (
+    ADMISSION_POLICIES,
     MODES,
     PLACEMENTS,
     ROUTING_POLICIES,
     SEQLEN_DISTS,
+    THINK_DISTS,
     TRACE_KINDS,
     format_serving,
+    parse_admission,
     parse_fleet,
     simulate_serving,
 )
@@ -108,6 +121,23 @@ def _serve(args: argparse.Namespace) -> str:
                 "--mode applies to --chips clusters; with --fleet, give each "
                 "group its own mode, e.g. --fleet yoco:4,isaac:4:pipelined"
             )
+    admission = None
+    if args.admission is not None:
+        try:
+            admission = parse_admission(args.admission)
+        except ValueError as error:
+            raise SystemExit(f"--admission: {error}") from None
+    if args.retries is not None and args.clients is None:
+        raise SystemExit(
+            "--retries needs --clients (open-loop rejections always drop)"
+        )
+    if args.clients is not None and args.clients < 1:
+        raise SystemExit("--clients must be >= 1")
+    if args.think_time < 0:
+        raise SystemExit("--think-time must be non-negative")
+    if args.retries is not None and args.retries < 0:
+        raise SystemExit("--retries must be >= 0 (0 disables retries)")
+    retries = args.retries if args.retries else None  # 0 = no retries
     # The --chips default applies only without a fleet; an *explicit*
     # --chips is always forwarded so a contradiction with --fleet raises
     # instead of being silently ignored.
@@ -140,11 +170,23 @@ def _serve(args: argparse.Namespace) -> str:
             else None
         ),
         t_max_c=args.t_max,
+        clients=args.clients,
+        think_time_ms=args.think_time,
+        think_dist=args.think_dist,
+        retry=retries,
+        admission=admission,
     )
-    header = (
-        f"traffic           : {','.join(models)} @ {args.rps:g} req/s "
-        f"({args.trace}, {args.duration:g} s horizon, seed {args.seed})"
-    )
+    if args.clients is not None:
+        header = (
+            f"traffic           : {','.join(models)} closed-loop, "
+            f"{args.clients} clients ({args.duration:g} s horizon, "
+            f"seed {args.seed})"
+        )
+    else:
+        header = (
+            f"traffic           : {','.join(models)} @ {args.rps:g} req/s "
+            f"({args.trace}, {args.duration:g} s horizon, seed {args.seed})"
+        )
     if args.seqlen_dist:
         mean = args.seqlen_mean if args.seqlen_mean else "native"
         header += (
@@ -353,6 +395,41 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="thermal limit in deg C; a group above it throttles until "
         "it cools back below the hysteresis margin",
+    )
+    serve.add_argument(
+        "--clients",
+        type=int,
+        default=None,
+        help="closed-loop client sessions (replaces the open-loop trace: "
+        "--rps/--trace are then ignored; sessions block on completion "
+        "and think between requests)",
+    )
+    serve.add_argument(
+        "--think-time",
+        type=float,
+        default=5.0,
+        help="mean closed-loop think time in ms (default: 5)",
+    )
+    serve.add_argument(
+        "--think-dist",
+        choices=THINK_DISTS,
+        default="exponential",
+        help="think-time distribution of the closed-loop sessions",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="closed-loop retry budget on admission rejection "
+        "(default and 0: rejected requests drop; needs --clients)",
+    )
+    serve.add_argument(
+        "--admission",
+        type=str,
+        default=None,
+        help="admission-control policy spec: one of "
+        f"{', '.join(ADMISSION_POLICIES)}, with optional parameters, "
+        "e.g. queue-cap:64, token-bucket:5000:16, slo-aware:2.5",
     )
     serve.add_argument(
         "--mode",

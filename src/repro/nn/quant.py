@@ -73,6 +73,11 @@ def calibrate_activation(x: np.ndarray, bits: int = 8) -> ActivationQuant:
         hi = lo + 1e-8
     q_max = (1 << bits) - 1
     scale = (hi - lo) / q_max
+    if scale == 0.0:
+        # A sub-normal span (e.g. hi - lo = 5e-324) underflows the
+        # division to a zero scale even though hi != lo; pin the same
+        # degenerate range the hi == lo path uses.
+        scale = 1e-8 / q_max
     zero_point = int(np.clip(np.rint(-lo / scale), 0, q_max))
     return ActivationQuant(scale=scale, zero_point=zero_point, bits=bits)
 

@@ -28,6 +28,17 @@ throttle dispatched batches DVFS-style, coupling watts back into latency:
         ["resnet18"], n_chips=4, rps=20000, power_cap_w=0.5, seed=0
     )
 
+Traffic can be **closed-loop** instead of trace-driven
+(:mod:`repro.serve.clients`): N concurrent sessions each block on their
+in-flight request and think between requests, optionally behind an
+admission-control policy (:mod:`repro.serve.admission`) that sheds work
+the cluster cannot absorb:
+
+    report, _ = simulate_serving(
+        ["resnet18"], n_chips=4, clients=64, think_time_ms=2.0,
+        admission="queue-cap:32", seed=0,
+    )
+
 The same entry point backs ``python -m repro serve`` and the
 ``benchmarks/bench_serving.py`` suite.
 """
@@ -38,12 +49,28 @@ from typing import Optional, Sequence, Tuple, Union
 
 from repro.arch.accelerator import AcceleratorSpec
 from repro.models.zoo import get_workload
+from repro.serve.admission import (
+    ADMISSION_POLICIES,
+    AcceptAll,
+    AdmissionPolicy,
+    QueueDepthCap,
+    SloAwareShedding,
+    TokenBucket,
+    parse_admission,
+)
 from repro.serve.batching import (
     Batch,
     BatchingPolicy,
     ModelQueue,
     bucket_for,
     default_buckets,
+)
+from repro.serve.clients import (
+    THINK_DISTS,
+    ClientPopulation,
+    ClosedLoopDriver,
+    RetryPolicy,
+    estimated_saturation_clients,
 )
 from repro.serve.cluster import (
     Cluster,
@@ -58,6 +85,7 @@ from repro.serve.cluster import (
 )
 from repro.serve.engine import (
     ROUTING_POLICIES,
+    RejectedRequest,
     ServedRequest,
     ServingEngine,
     ServingResult,
@@ -109,12 +137,17 @@ from repro.serve.traces import (
 )
 
 __all__ = [
+    "ADMISSION_POLICIES",
+    "AcceptAll",
+    "AdmissionPolicy",
     "Batch",
     "BatchingPolicy",
     "CHIP_TYPES",
     "ChipPlan",
     "ChipService",
     "ChipTypeStats",
+    "ClientPopulation",
+    "ClosedLoopDriver",
     "Cluster",
     "ClusterPlan",
     "FleetGroup",
@@ -128,22 +161,29 @@ __all__ = [
     "PowerGovernor",
     "PowerModel",
     "PowerTrace",
+    "QueueDepthCap",
     "ROUTING_POLICIES",
+    "RejectedRequest",
     "Request",
+    "RetryPolicy",
     "SEQLEN_DISTS",
     "ServedRequest",
     "ServingEngine",
     "ServingReport",
     "ServingResult",
+    "SloAwareShedding",
+    "THINK_DISTS",
     "TRACE_KINDS",
     "ThermalNode",
     "ThrottlePolicy",
+    "TokenBucket",
     "backend_for",
     "bucket_for",
     "bursty_trace",
     "chip_spec",
     "default_buckets",
     "diurnal_trace",
+    "estimated_saturation_clients",
     "fixed_seqlens",
     "fixed_trace",
     "fleet_cost_table",
@@ -154,6 +194,7 @@ __all__ = [
     "longtail_seqlens",
     "make_trace",
     "merge_traces",
+    "parse_admission",
     "parse_fleet",
     "percentile",
     "plan_cluster",
@@ -194,6 +235,11 @@ def simulate_serving(
     power_cap_w: Optional[float] = None,
     thermal_tau_s: Optional[float] = None,
     t_max_c: Optional[float] = None,
+    clients: Optional[int] = None,
+    think_time_ms: float = 5.0,
+    think_dist: str = "exponential",
+    retry: Optional[Union[int, RetryPolicy]] = None,
+    admission: Optional[Union[str, AdmissionPolicy]] = None,
 ) -> Tuple[ServingReport, ServingResult]:
     """End-to-end serving run: build trace + cluster, simulate, summarize.
 
@@ -230,6 +276,24 @@ def simulate_serving(
     with an explicit ``power``).  With no cap and no thermal limit the
     governor only records the power trace — the simulation itself is
     float-for-float identical to the power-blind path.
+
+    ``clients`` switches the run from an open-loop trace to a
+    **closed-loop** population of that many concurrent sessions
+    (:class:`repro.serve.clients.ClientPopulation`): each session issues
+    one request, blocks until it completes, thinks for ``think_time_ms``
+    (drawn from ``think_dist``) and issues the next, until the
+    ``duration_s`` horizon.  ``rps`` and ``trace_kind`` are then ignored
+    — offered load is whatever the loop sustains.  ``retry`` (a
+    :class:`~repro.serve.clients.RetryPolicy`, or an int shorthand for
+    ``max_retries``) makes rejected sessions retry with backoff instead
+    of dropping the request.
+
+    ``admission`` puts an admission-control policy in front of the
+    queues in either mode — an
+    :class:`~repro.serve.admission.AdmissionPolicy` or its CLI spec
+    string (``"queue-cap:64"``, ``"token-bucket:5000"``,
+    ``"slo-aware"``).  ``None``/``accept-all`` is the golden-guarded
+    no-op.
     """
     if not models:
         raise ValueError("need at least one model to serve")
@@ -257,39 +321,80 @@ def simulate_serving(
         raise ValueError(
             f"unknown seqlen dist {seqlen_dist!r}; available: {SEQLEN_DISTS}"
         )
+    if clients is not None and clients < 1:
+        raise ValueError("clients must be >= 1 (None for open-loop traces)")
+    if isinstance(retry, int):
+        retry = RetryPolicy(max_retries=retry)
+    if retry is not None and clients is None:
+        raise ValueError(
+            "retry-with-backoff needs closed-loop clients; open-loop "
+            "rejections always drop"
+        )
     workloads = [get_workload(name) for name in models]
-    per_model_rps = rps / len(models)
     max_context = (
         int(max(seqlen_buckets)) if seqlen_buckets else None
     )
-    sub_traces = []
-    max_sampled = 0
-    for i, (name, workload) in enumerate(zip(models, workloads)):
-        sub = make_trace(
-            trace_kind, name, per_model_rps, duration_s, seed=seed + i
+    population: Optional[ClientPopulation] = None
+    if clients is not None:
+        # Closed loop: sessions generate arrivals, so the only trace work
+        # is fixing the padding buckets up front.  Without explicit
+        # boundaries, cover up to the longtail sampler's 8x-mean ceiling
+        # (longer lognormal draws clamp to the top bucket, the same
+        # max-context rule the open-loop path applies).
+        trace = ()
+        if seqlen_buckets is not None:
+            buckets = tuple(int(b) for b in seqlen_buckets)
+        elif seqlen_dist is not None:
+            means = [
+                seqlen_mean if seqlen_mean else w.seq_len
+                for w in workloads
+                if w.seq_len > 0
+            ]
+            buckets = default_buckets(8 * max(means)) if means else ()
+        else:
+            buckets = ()
+        population = ClientPopulation(
+            models=tuple(models),
+            n_clients=clients,
+            think_time_ms=think_time_ms,
+            think_dist=think_dist,
+            horizon_s=duration_s,
+            seed=seed,
+            retry=retry,
+            seqlen_dist=seqlen_dist,
+            seqlen_mean=seqlen_mean,
+            max_seq_len=max(buckets) if buckets else None,
         )
-        if seqlen_dist is not None and workload.seq_len > 0:
-            mean = seqlen_mean if seqlen_mean else workload.seq_len
-            lens = sample_seqlens(
-                seqlen_dist,
-                len(sub),
-                mean,
-                seed=seed + _SEQLEN_SEED_OFFSET + i,
-                trace_kind=trace_kind,
-            )
-            if max_context is not None:
-                lens = tuple(min(s, max_context) for s in lens)
-            sub = with_seqlens(sub, lens)
-            if lens:
-                max_sampled = max(max_sampled, max(lens))
-        sub_traces.append(sub)
-    trace = merge_traces(*sub_traces)
-    if seqlen_buckets is not None:
-        buckets = tuple(int(b) for b in seqlen_buckets)
-    elif max_sampled:
-        buckets = default_buckets(max_sampled)
     else:
-        buckets = ()
+        per_model_rps = rps / len(models)
+        sub_traces = []
+        max_sampled = 0
+        for i, (name, workload) in enumerate(zip(models, workloads)):
+            sub = make_trace(
+                trace_kind, name, per_model_rps, duration_s, seed=seed + i
+            )
+            if seqlen_dist is not None and workload.seq_len > 0:
+                mean = seqlen_mean if seqlen_mean else workload.seq_len
+                lens = sample_seqlens(
+                    seqlen_dist,
+                    len(sub),
+                    mean,
+                    seed=seed + _SEQLEN_SEED_OFFSET + i,
+                    trace_kind=trace_kind,
+                )
+                if max_context is not None:
+                    lens = tuple(min(s, max_context) for s in lens)
+                sub = with_seqlens(sub, lens)
+                if lens:
+                    max_sampled = max(max_sampled, max(lens))
+            sub_traces.append(sub)
+        trace = merge_traces(*sub_traces)
+        if seqlen_buckets is not None:
+            buckets = tuple(int(b) for b in seqlen_buckets)
+        elif max_sampled:
+            buckets = default_buckets(max_sampled)
+        else:
+            buckets = ()
     # Both branches forward n_chips/spec/mode so Cluster's own validation
     # rejects contradictions (e.g. a fleet plus mode=, or a mismatched
     # n_chips) instead of silently ignoring an argument.
@@ -306,8 +411,9 @@ def simulate_serving(
         window_ns=window_ms * 1e6,
         seqlen_buckets=buckets,
     )
-    result = ServingEngine(cluster, policy, routing=routing, power=power).run(
-        trace
+    engine = ServingEngine(
+        cluster, policy, routing=routing, power=power, admission=admission
     )
+    result = engine.run(trace, clients=population)
     report = summarize(result, cluster, slo_ms=slo_ms)
     return report, result

@@ -519,6 +519,32 @@ class Cluster:
                 best = latency
         return best
 
+    def predicted_latency_ns(
+        self, model: str, queued_ahead: int, max_batch_size: int = 1
+    ) -> float:
+        """First-order completion-time prediction for admission control.
+
+        A request arriving with ``queued_ahead`` same-model requests
+        already waiting must let those drain first: they form
+        ``ceil(queued_ahead / max_batch_size)`` batches spread over the
+        model's hosting chips, i.e. ``ceil(batches / hosts)`` serial
+        waves, before the request's own batch runs.  Each wave is priced
+        at the batch-1 floor of the model's *best* hosting chip
+        (:meth:`reference_latency_ns` — the same per-(model, chip-group)
+        cost tables the placer and the default SLO read), so the estimate
+        is deliberately optimistic: a request this predictor already
+        condemns is dead on arrival under any schedule.
+        """
+        if queued_ahead < 0:
+            raise ValueError("queued_ahead must be non-negative")
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        service_ns = self.reference_latency_ns(model)
+        hosts = len(self.chips_for(model))
+        batches_ahead = -(-queued_ahead // max_batch_size)  # ceil div
+        waves = -(-batches_ahead // hosts)
+        return (waves + 1) * service_ns
+
     def _cost(
         self, chip_id: int, model: str, batch_size: int, seq_len: int
     ) -> ChipService:

@@ -5,16 +5,35 @@ the cluster's chips.  Three event kinds exist — batch completion, request
 arrival, batching-window expiry — kept in one time-ordered heap with a
 monotonic sequence number as the final tiebreak, so two runs over the same
 (trace, cluster, policy) produce bit-identical results.  There is no
-wall-clock anywhere: all randomness lives in the trace generators.
+wall-clock anywhere: all randomness lives in the trace generators and the
+closed-loop client streams.
+
+Two traffic sources feed the loop:
+
+* **open-loop traces** (:meth:`ServingEngine.run` with a request
+  sequence) — arrivals are fixed in advance, the legacy path;
+* **closed-loop clients** (``clients=`` with a
+  :class:`repro.serve.clients.ClientPopulation`) — every batch completion
+  feeds back to its sessions, which think and then issue their next
+  request, so offered load responds to cluster state.
+
+An :class:`repro.serve.admission.AdmissionPolicy` sits in front of the
+queues in either mode: rejected requests drop (open loop) or go back to
+their session for retry-with-backoff (closed loop), and land on
+:attr:`ServingResult.rejected` instead of :attr:`ServingResult.served`.
+With ``admission=None`` — or the explicit :class:`AcceptAll` — the loop
+is byte-for-byte the pre-admission engine (golden-guarded).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import heapq
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.serve.admission import AdmissionPolicy, parse_admission
 from repro.serve.batching import BatchingPolicy, ModelQueue
+from repro.serve.clients import ClientPopulation, ClosedLoopDriver
 from repro.serve.cluster import Cluster
 from repro.serve.power import PowerConfig, PowerGovernor, PowerTrace
 from repro.serve.traces import Request
@@ -55,7 +74,12 @@ class ServedRequest:
 
     @property
     def latency_ns(self) -> float:
-        """Arrival-to-finish (queueing + batching + service)."""
+        """Arrival-to-finish (queueing + batching + service).
+
+        Client-perceived: a request that was rejected and retried keeps
+        its original arrival stamp, so rejection waits and backoff delay
+        count against it (and against its SLO) too.
+        """
         return self.finish_ns - self.request.arrival_ns
 
     @property
@@ -70,12 +94,31 @@ class ServedRequest:
 
 
 @dataclasses.dataclass(frozen=True)
+class RejectedRequest:
+    """One request admission control turned away for good.
+
+    ``reject_ns`` is the instant of the *final* rejection and
+    ``attempts`` how many admission attempts were made in total (1 = shed
+    on first contact; more means retry-with-backoff ran out).  Requests
+    that were rejected, retried and eventually served appear on
+    :attr:`ServingResult.served`, not here.
+    """
+
+    request: Request
+    reject_ns: float
+    attempts: int = 1
+
+
+@dataclasses.dataclass(frozen=True)
 class ServingResult:
     """Everything one simulation run produced.
 
     ``power`` carries the governor's per-group power/thermal trace when
     the run simulated one (:class:`repro.serve.power.PowerConfig` passed
-    to the engine); ``None`` on the legacy power-blind path.
+    to the engine); ``None`` on the legacy power-blind path.  ``rejected``
+    / ``n_rejections`` account for admission control (empty/0 without a
+    shedding policy) and ``clients`` echoes the closed-loop population
+    when the run was client-driven (``None`` = open loop).
     """
 
     served: Tuple[ServedRequest, ...]
@@ -85,10 +128,46 @@ class ServingResult:
     n_batches: int
     policy: BatchingPolicy
     power: Optional[PowerTrace] = None
+    rejected: Tuple[RejectedRequest, ...] = ()
+    n_rejections: int = 0  # every reject event, retried-then-served included
+    admission: Optional[str] = None  # policy name; None = no admission layer
+    clients: Optional[ClientPopulation] = None
 
     @property
     def n_requests(self) -> int:
         return len(self.served)
+
+    @property
+    def n_dropped(self) -> int:
+        """Requests admission turned away for good (never served)."""
+        return len(self.rejected)
+
+    @property
+    def n_offered(self) -> int:
+        """Distinct requests that reached the front door (served + dropped)."""
+        return len(self.served) + len(self.rejected)
+
+    @property
+    def rejection_rate(self) -> float:
+        """Dropped fraction of offered requests (0.0 on an empty run)."""
+        offered = self.n_offered
+        if offered == 0:
+            return 0.0
+        return len(self.rejected) / offered
+
+    @property
+    def n_retries(self) -> int:
+        """Rejections that were resubmitted rather than dropped.
+
+        Every reject event either schedules a retry or drops the request
+        for good, so the two counters partition ``n_rejections``.
+        """
+        return self.n_rejections - len(self.rejected)
+
+    @property
+    def n_clients(self) -> int:
+        """Closed-loop session count (0 = open-loop trace)."""
+        return self.clients.n_clients if self.clients is not None else 0
 
     @property
     def total_energy_pj(self) -> float:
@@ -159,6 +238,12 @@ class ServingEngine:
     thermal limit) only records the power trace — every slowdown factor is
     exactly 1.0 and the simulation is float-for-float identical to the
     power-blind path.
+
+    ``admission`` gates every arrival before it touches a queue (an
+    :class:`~repro.serve.admission.AdmissionPolicy` instance or its CLI
+    spec string, e.g. ``"queue-cap:64"``).  ``None`` — and the explicit
+    ``accept-all`` policy — leave the simulation byte-for-byte identical
+    to the pre-admission engine.
     """
 
     def __init__(
@@ -167,15 +252,19 @@ class ServingEngine:
         policy: BatchingPolicy = BatchingPolicy(),
         routing: str = "fastest",
         power: Optional[PowerConfig] = None,
+        admission: Optional[Union[str, AdmissionPolicy]] = None,
     ) -> None:
         if routing not in ROUTING_POLICIES:
             raise ValueError(
                 f"unknown routing {routing!r}; available: {ROUTING_POLICIES}"
             )
+        if isinstance(admission, str):
+            admission = parse_admission(admission)
         self._cluster = cluster
         self._policy = policy
         self._routing = routing
         self._power = power
+        self._admission = admission
 
     @property
     def cluster(self) -> Cluster:
@@ -193,9 +282,43 @@ class ServingEngine:
     def power(self) -> Optional[PowerConfig]:
         return self._power
 
-    def run(self, trace: Sequence[Request]) -> ServingResult:
-        """Simulate the whole trace to completion (closed horizon)."""
+    @property
+    def admission(self) -> Optional[AdmissionPolicy]:
+        return self._admission
+
+    def run(
+        self,
+        trace: Sequence[Request] = (),
+        clients: Optional[ClientPopulation] = None,
+    ) -> ServingResult:
+        """Simulate the whole trace to completion (closed horizon).
+
+        Pass either an open-loop ``trace`` *or* a closed-loop ``clients``
+        population (whose sessions then generate arrivals in response to
+        completions), never both.
+        """
         cluster, policy = self._cluster, self._policy
+        if clients is not None and len(trace):
+            raise ValueError(
+                "pass an open-loop trace or a closed-loop client "
+                "population, not both"
+            )
+        driver: Optional[ClosedLoopDriver] = None
+        if clients is not None:
+            unknown = [m for m in clients.models if m not in cluster.models]
+            if unknown:
+                raise ValueError(
+                    f"client population serves {unknown} but cluster hosts "
+                    f"{sorted(cluster.models)}"
+                )
+            driver = ClosedLoopDriver(
+                clients,
+                {m: cluster.native_seq_len(m) for m in clients.models},
+            )
+            trace = driver.start()
+        admission = self._admission
+        if admission is not None:
+            admission.reset(cluster, policy)
         governor = (
             PowerGovernor(cluster, self._power)
             if self._power is not None
@@ -223,6 +346,8 @@ class ServingEngine:
         chip_free = [0.0] * cluster.n_chips
         chip_busy = [0.0] * cluster.n_chips
         served: List[ServedRequest] = []
+        rejected: List[RejectedRequest] = []
+        n_rejections = 0
         n_batches = 0
         makespan = 0.0
 
@@ -351,9 +476,17 @@ class ServingEngine:
                             padded_seq_len=padded if request.seq_len else 0,
                         )
                     )
-                heapq.heappush(events, (finish, _COMPLETION, seq, None))
+                # Completion events carry the batch's requests — the
+                # feedback edge closed-loop clients listen on.  The seq
+                # tiebreak is unique, so the payload is never compared.
+                heapq.heappush(events, (finish, _COMPLETION, seq, batch.requests))
                 seq += 1
                 n_batches += 1
+
+        def push_arrival(request: Request) -> None:
+            nonlocal seq
+            heapq.heappush(events, (request.arrival_ns, _ARRIVAL, seq, request))
+            seq += 1
 
         while events:
             now, kind, _, payload = heapq.heappop(events)
@@ -362,13 +495,52 @@ class ServingEngine:
                 # the governor exactly here makes the integration exact.
                 governor.advance(now)
             if kind == _ARRIVAL:
-                queues[payload.model].push(payload)
+                request = payload
+                if admission is None or admission.admit(
+                    request,
+                    now,
+                    len(queues[request.model]),
+                    sum(len(q) for q in queues.values()),
+                ):
+                    queues[request.model].push(request)
+                else:
+                    n_rejections += 1
+                    if driver is None:
+                        # Open loop: nobody retries, the request drops.
+                        rejected.append(RejectedRequest(request, now, 1))
+                    else:
+                        outcome = driver.on_reject(request, now)
+                        if outcome.retry is not None:
+                            # The retry keeps its original arrival stamp
+                            # (latency stays client-perceived across
+                            # attempts) but re-enters at the backoff
+                            # instant, so the event is scheduled there.
+                            heapq.heappush(
+                                events,
+                                (outcome.retry_at_ns, _ARRIVAL, seq,
+                                 outcome.retry),
+                            )
+                            seq += 1
+                        else:
+                            rejected.append(
+                                RejectedRequest(request, now, outcome.attempts)
+                            )
+                            if outcome.next_request is not None:
+                                push_arrival(outcome.next_request)
+            elif kind == _COMPLETION and driver is not None:
+                # The feedback edge: each finished request unblocks its
+                # session, which thinks and then issues the next arrival.
+                for request in payload:
+                    follow = driver.on_complete(request, now)
+                    if follow is not None:
+                        push_arrival(follow)
             dispatch(now)
 
         leftover = sum(len(q) for q in queues.values())
         if leftover:
             raise RuntimeError(f"{leftover} requests never dispatched")
         served.sort(key=lambda s: (s.request.arrival_ns, s.request.request_id))
+        rejected.sort(key=lambda r: (r.reject_ns, r.request.request_id))
         return ServingResult(
             served=tuple(served),
             n_chips=cluster.n_chips,
@@ -377,4 +549,8 @@ class ServingEngine:
             n_batches=n_batches,
             policy=policy,
             power=governor.finish() if governor is not None else None,
+            rejected=tuple(rejected),
+            n_rejections=n_rejections,
+            admission=admission.name if admission is not None else None,
+            clients=clients,
         )

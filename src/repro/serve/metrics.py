@@ -110,10 +110,52 @@ class ServingReport:
     # (has_power gates the power section so unconstrained runs keep the
     # legacy report byte for byte).
     power: Optional[PowerTrace] = None
+    # Admission-control accounting (has_admission gates the report line;
+    # accept-all and no-admission runs keep the legacy format byte for
+    # byte).  n_offered counts distinct requests reaching the front door.
+    admission: Optional[str] = None
+    n_offered: int = 0
+    n_dropped: int = 0
+    n_retries: int = 0
+    # Closed-loop client accounting (has_clients gates the report line;
+    # n_clients == 0 means the run was open-loop).
+    n_clients: int = 0
+    think_time_ms: float = 0.0
+    think_dist: str = ""
 
     @property
     def has_tokens(self) -> bool:
         return any(m.mean_seq_len > 0 for m in self.per_model)
+
+    @property
+    def has_admission(self) -> bool:
+        """Did a genuinely shedding-capable admission layer run the show?
+
+        ``accept-all`` is the provable no-op, so only a real policy (or an
+        actual drop) renders the admission line — the golden-guarded
+        gating, mirroring :attr:`has_power`.
+        """
+        return (
+            self.admission is not None and self.admission != "accept-all"
+        ) or self.n_dropped > 0
+
+    @property
+    def has_clients(self) -> bool:
+        return self.n_clients > 0
+
+    @property
+    def rejection_rate(self) -> float:
+        """Dropped fraction of offered requests (0.0 on an empty run)."""
+        if self.n_offered == 0:
+            return 0.0
+        return self.n_dropped / self.n_offered
+
+    @property
+    def requests_per_client(self) -> float:
+        """Served requests per closed-loop session (0.0 when open-loop)."""
+        if self.n_clients == 0:
+            return 0.0
+        return self.n_requests / self.n_clients
 
     @property
     def has_chip_types(self) -> bool:
@@ -243,7 +285,15 @@ def summarize(
         if cluster.heterogeneous
         else cluster.spec.name
     )
+    clients = result.clients
     return ServingReport(
+        admission=result.admission,
+        n_offered=result.n_offered,
+        n_dropped=result.n_dropped,
+        n_retries=result.n_retries,
+        n_clients=result.n_clients,
+        think_time_ms=clients.think_time_ms if clients is not None else 0.0,
+        think_dist=clients.think_dist if clients is not None else "",
         accelerator=accelerator,
         n_chips=result.n_chips,
         n_requests=result.n_requests,
@@ -292,6 +342,18 @@ def format_serving(report: ServingReport) -> str:
         f"({100 * report.slo_attainment:.1f} % attainment)",
         f"energy/request    : {report.energy_per_request_uj:.3f} uJ",
     ]
+    if report.has_clients:
+        lines.append(
+            f"closed-loop       : {report.n_clients} clients, think "
+            f"{report.think_time_ms:g} ms ({report.think_dist}), "
+            f"{report.requests_per_client:.1f} req/client"
+        )
+    if report.has_admission:
+        lines.append(
+            f"admission         : {report.admission or 'accept-all'} — "
+            f"offered {report.n_offered}, shed {report.n_dropped} "
+            f"({100 * report.rejection_rate:.1f} %), retries {report.n_retries}"
+        )
     if report.has_tokens:
         lines += [
             f"token goodput     : {report.tokens_per_s:.0f} tok/s",

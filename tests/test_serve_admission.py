@@ -1,0 +1,170 @@
+"""Unit tests of the admission policies and the deadline predictor."""
+
+import pytest
+
+from repro.models.zoo import get_workload
+from repro.serve import (
+    ADMISSION_POLICIES,
+    AcceptAll,
+    BatchingPolicy,
+    Cluster,
+    QueueDepthCap,
+    SloAwareShedding,
+    TokenBucket,
+    parse_admission,
+)
+from repro.serve.traces import Request
+
+
+def _request(model="resnet18", arrival_ns=0.0):
+    return Request(request_id=0, model=model, arrival_ns=arrival_ns)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return Cluster([get_workload("resnet18")], n_chips=2)
+
+
+class TestAcceptAll:
+    def test_admits_everything(self):
+        policy = AcceptAll()
+        assert policy.name == "accept-all"
+        for depth in (0, 10, 10**6):
+            assert policy.admit(_request(), 0.0, depth, depth)
+
+
+class TestQueueDepthCap:
+    def test_admits_below_and_rejects_at_the_cap(self):
+        policy = QueueDepthCap(max_depth=4)
+        assert policy.admit(_request(), 0.0, 3, 3)
+        assert not policy.admit(_request(), 0.0, 0, 4)  # cluster-wide depth
+        assert not policy.admit(_request(), 0.0, 9, 9)
+
+    def test_validates_depth(self):
+        with pytest.raises(ValueError, match="max_depth"):
+            QueueDepthCap(max_depth=0)
+
+
+class TestTokenBucket:
+    def test_burst_then_starve_then_refill(self):
+        policy = TokenBucket(rate_rps=1000.0, burst=2.0)
+        policy.reset(None, BatchingPolicy())
+        assert policy.admit(_request(), 0.0, 0, 0)
+        assert policy.admit(_request(), 0.0, 0, 0)
+        assert not policy.admit(_request(), 0.0, 0, 0)  # bucket empty
+        # 1000 req/s = one token per millisecond.
+        assert policy.admit(_request(), 1e6, 0, 0)
+        assert not policy.admit(_request(), 1e6, 0, 0)
+
+    def test_refill_never_exceeds_burst(self):
+        policy = TokenBucket(rate_rps=1000.0, burst=3.0)
+        policy.reset(None, BatchingPolicy())
+        # A long quiet period refills to burst, not beyond.
+        for _ in range(3):
+            assert policy.admit(_request(), 1e9, 0, 0)
+        assert not policy.admit(_request(), 1e9, 0, 0)
+
+    def test_reset_rearms_the_bucket(self):
+        policy = TokenBucket(rate_rps=1.0, burst=1.0)
+        policy.reset(None, BatchingPolicy())
+        assert policy.admit(_request(), 0.0, 0, 0)
+        assert not policy.admit(_request(), 0.0, 0, 0)
+        policy.reset(None, BatchingPolicy())
+        assert policy.admit(_request(), 0.0, 0, 0)
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError, match="rate_rps"):
+            TokenBucket(rate_rps=0.0)
+        with pytest.raises(ValueError, match="burst"):
+            TokenBucket(rate_rps=1.0, burst=0.5)
+
+
+class TestSloAwareShedding:
+    def test_requires_reset_before_use(self):
+        with pytest.raises(RuntimeError, match="reset"):
+            SloAwareShedding().admit(_request(), 0.0, 0, 0)
+
+    def test_empty_queue_always_admits_under_default_slo(self, cluster):
+        policy = SloAwareShedding()
+        policy.reset(cluster, BatchingPolicy())
+        # Default SLO is 10x the batch-1 floor; an empty queue predicts
+        # exactly 1x, so the first request always fits its deadline.
+        assert policy.admit(_request(), 0.0, 0, 0)
+
+    def test_deep_backlog_is_shed_and_slo_scales_it(self, cluster):
+        policy = SloAwareShedding()
+        batching = BatchingPolicy(max_batch_size=1)
+        policy.reset(cluster, batching)
+        # 2 hosts, batch 1: depth d predicts ceil(d/2)+1 service floors;
+        # the default 10x budget drowns at depth 19 but not at 18.
+        assert policy.admit(_request(), 0.0, 18, 18)
+        assert not policy.admit(_request(), 0.0, 19, 19)
+        generous = SloAwareShedding(slo_multiple=100.0)
+        generous.reset(cluster, batching)
+        assert generous.admit(_request(), 0.0, 19, 19)
+
+    def test_explicit_slo_ms_overrides_the_multiple(self, cluster):
+        policy = SloAwareShedding(slo_ms=1e6)
+        policy.reset(cluster, BatchingPolicy())
+        assert policy.admit(_request(), 0.0, 10**6, 10**6)
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError, match="slo_ms"):
+            SloAwareShedding(slo_ms=0.0)
+        with pytest.raises(ValueError, match="slo_multiple"):
+            SloAwareShedding(slo_multiple=-1.0)
+
+
+class TestPredictedLatency:
+    def test_empty_queue_predicts_the_batch1_floor(self, cluster):
+        floor = cluster.reference_latency_ns("resnet18")
+        assert cluster.predicted_latency_ns("resnet18", 0) == floor
+
+    def test_backlog_adds_whole_drain_waves(self, cluster):
+        floor = cluster.reference_latency_ns("resnet18")
+        # 2 hosts, max_batch 4: 8 queued = 2 batches = 1 wave ahead.
+        assert cluster.predicted_latency_ns("resnet18", 8, 4) == 2 * floor
+        # 9 queued = 3 batches = 2 waves ahead.
+        assert cluster.predicted_latency_ns("resnet18", 9, 4) == 3 * floor
+
+    def test_prediction_is_monotone_in_backlog(self, cluster):
+        values = [
+            cluster.predicted_latency_ns("resnet18", d, 8) for d in range(50)
+        ]
+        assert values == sorted(values)
+
+    def test_validates_arguments(self, cluster):
+        with pytest.raises(ValueError, match="queued_ahead"):
+            cluster.predicted_latency_ns("resnet18", -1)
+        with pytest.raises(ValueError, match="max_batch_size"):
+            cluster.predicted_latency_ns("resnet18", 0, 0)
+
+
+class TestParseAdmission:
+    def test_round_trips_every_policy_name(self):
+        for name in ADMISSION_POLICIES:
+            spec = "token-bucket:5000" if name == "token-bucket" else name
+            assert parse_admission(spec).name == name
+
+    def test_parameterized_specs(self):
+        assert parse_admission("queue-cap:32").max_depth == 32
+        bucket = parse_admission("token-bucket:5000:16")
+        assert bucket.rate_rps == 5000.0 and bucket.burst == 16.0
+        assert parse_admission("slo-aware:2.5").slo_ms == 2.5
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "nope",
+            "accept-all:1",
+            "queue-cap:abc",
+            "queue-cap:1:2",
+            "token-bucket",
+            "token-bucket:1:2:3",
+            "slo-aware:1:2",
+            "queue-cap:0",
+        ],
+    )
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            parse_admission(spec)

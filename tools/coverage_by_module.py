@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Print a per-module coverage table from a coverage.xml report.
+
+The tier-1 CI job fails the build when *package* coverage drops under the
+pinned floor, but a single number is not attributable: this script rolls
+the Cobertura XML that ``pytest --cov-report=xml`` writes up to one row
+per top-level package module (``repro.serve``, ``repro.arch``, ...), so a
+regression points at the subsystem that caused it.
+
+Usage: python tools/coverage_by_module.py [coverage.xml]
+
+Stdlib-only on purpose — it runs in CI before any project import works.
+"""
+
+from __future__ import annotations
+
+import sys
+import xml.etree.ElementTree as ET
+from collections import defaultdict
+from pathlib import PurePosixPath
+
+
+def module_of(filename: str) -> str:
+    """'repro/serve/engine.py' -> 'repro.serve'; top-level files stand alone."""
+    parts = PurePosixPath(filename).parts
+    if len(parts) <= 1:
+        return PurePosixPath(filename).stem
+    return ".".join(parts[:-1])
+
+
+def rollup(xml_path: str):
+    """Aggregate (covered, total) statement counts per module."""
+    root = ET.parse(xml_path).getroot()
+    totals = defaultdict(lambda: [0, 0])
+    for cls in root.iter("class"):
+        module = module_of(cls.get("filename", ""))
+        for line in cls.iter("line"):
+            totals[module][1] += 1
+            if int(line.get("hits", "0")) > 0:
+                totals[module][0] += 1
+    return totals
+
+
+def format_report(totals) -> str:
+    rows = []
+    for module in sorted(totals, key=lambda m: totals[m][0] / totals[m][1]):
+        covered, total = totals[module]
+        rows.append((module, covered, total, 100.0 * covered / total))
+    grand_covered = sum(c for c, _ in totals.values())
+    grand_total = sum(t for _, t in totals.values())
+    rows.append(
+        ("TOTAL", grand_covered, grand_total,
+         100.0 * grand_covered / grand_total if grand_total else 0.0)
+    )
+    width = max(len(r[0]) for r in rows)
+    lines = [f"{'module'.ljust(width)}  stmts  miss  cover"]
+    lines.append(f"{'-' * width}  -----  ----  -----")
+    for module, covered, total, pct in rows:
+        lines.append(
+            f"{module.ljust(width)}  {total:5d}  {total - covered:4d}  {pct:4.0f}%"
+        )
+    return "\n".join(lines)
+
+
+def main(argv) -> int:
+    xml_path = argv[1] if len(argv) > 1 else "coverage.xml"
+    try:
+        totals = rollup(xml_path)
+    except (OSError, ET.ParseError) as error:
+        print(f"cannot read coverage report {xml_path}: {error}", file=sys.stderr)
+        return 1
+    if not totals:
+        print(f"no coverage data found in {xml_path}", file=sys.stderr)
+        return 1
+    print(format_report(totals))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
