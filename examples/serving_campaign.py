@@ -42,6 +42,7 @@ from repro.serve import (
     Cluster,
     ROUTING_POLICIES,
     SEQLEN_DISTS,
+    Tenant,
     estimated_saturation_clients,
     simulate_serving,
 )
@@ -133,6 +134,7 @@ def main() -> None:
     mixed_fleet_scenario(model, chips, 0.6 * peak_rps, seqlen_dist)
     power_envelope_scenario(model, chips, 1.2 * peak_rps)
     closed_loop_scenario(model, chips)
+    multi_tenant_scenario(model, chips, peak_rps)
 
 
 def mixed_fleet_scenario(model, chips, rps, seqlen_dist):
@@ -290,6 +292,85 @@ def closed_loop_scenario(model, chips, think_ms=1.0):
         "what *is* accepted falls back toward the knee-level latency — and\n"
         "retry-with-backoff turns most hard drops into served requests,\n"
         "paying for each recovery in (client-perceived) tail latency.\n"
+    )
+
+
+def multi_tenant_scenario(model, chips, peak_rps):
+    """A protected interactive tenant sharing the cluster with a greedy
+    batch tenant (`repro.serve.tenancy`).
+
+    ``chat`` offers a modest interactive load; ``bulk`` offers ~1.5x the
+    whole cluster's capacity.  The sweep holds the traffic fixed and
+    changes only the scheduling contract: fifo (bulk's backlog buries
+    chat), weighted-fair with a declared-rate token bucket on bulk (the
+    noisy neighbor is shed and share-limited), and strict-priority with
+    preemption (chat's tight deadline can evict in-flight bulk batches,
+    wasted service accounted).
+    """
+    chat_rps = 0.05 * peak_rps
+    bulk_rps = 1.5 * peak_rps
+    print(section(
+        f"Multi-tenant — chat @ {chat_rps:.0f} req/s (interactive) vs "
+        f"bulk @ {bulk_rps:.0f} req/s (batch), {chips} YOCO chips"
+    ))
+    tight_ms = None
+    rows = []
+    for label, scheduler, preempt, rate_limited in (
+        ("fifo", "fifo", False, False),
+        ("weighted-fair + bucket", "weighted-fair", False, True),
+        ("strict-priority +preempt", "strict-priority", True, False),
+    ):
+        if preempt and tight_ms is None:
+            # A deadline waiting can miss but an overhead-charged
+            # preemption can meet: ~2x the batch-1 service time.
+            base, _ = simulate_serving(
+                [model], n_chips=chips, rps=100.0, duration_s=0.05,
+                max_batch_size=1, window_ms=0.0,
+            )
+            tight_ms = 2.0 * base.per_model[0].p50_ms
+        tenants = (
+            Tenant(
+                "chat", "interactive", weight=4.0, rps=chat_rps,
+                deadline_ms=tight_ms if preempt else None,
+            ),
+            Tenant(
+                "bulk", "batch", weight=1.0, rps=bulk_rps,
+                rate_limit_rps=0.5 * peak_rps if rate_limited else None,
+            ),
+        )
+        report, result = simulate_serving(
+            [model], n_chips=chips, seed=0, tenants=tenants,
+            scheduler=scheduler, preemption=preempt,
+        )
+        by = {t.tenant: t for t in report.per_tenant}
+        if "chat" not in by or by["chat"].n_requests == 0:
+            print("(load too low for the simulated horizon — no arrivals)\n")
+            return
+        rows.append(
+            (
+                label,
+                f"{by['chat'].p99_ms:.3f}",
+                f"{by['bulk'].p99_ms:.3f}",
+                f"{100 * by['bulk'].rejection_rate:.0f}%",
+                result.n_preemptions,
+                f"{100 * report.mean_chip_utilization:.0f}%",
+            )
+        )
+    print(format_table(
+        ("contract", "chat p99 ms", "bulk p99 ms", "bulk shed", "preempts",
+         "mean util"),
+        rows,
+    ))
+    print(
+        "Under fifo the interactive tenant queues behind the greedy\n"
+        "tenant's backlog.  Weighted-fair plus a declared-rate bucket\n"
+        "sheds the excess at the door (utilization falls with it) and\n"
+        "caps bulk's share of what remains — chat's p99 collapses by\n"
+        "orders of magnitude.  Strict-priority with preemption instead\n"
+        "keeps every chip busy and accepts everything: in-flight bulk\n"
+        "batches are evicted (their wasted service time charged\n"
+        "explicitly) whenever waiting would miss chat's deadline, buying\n"
+        "nearly the same interactive tail without shedding a request.\n"
     )
 
 

@@ -47,6 +47,18 @@ of the queues in either mode:
         --think-time 2 --retries 3 --admission queue-cap:32
     python -m repro serve --model resnet18 --chips 2 --rps 100000 \
         --admission slo-aware
+
+``--tenants`` makes the run multi-tenant (:mod:`repro.serve.tenancy`):
+named tenants with their own traffic mixes, SLO classes and weights
+share the fleet under a ``--scheduler`` (fifo / strict-priority /
+weighted-fair), optionally with ``--preempt`` deadline-driven eviction
+of lower-priority batches:
+
+    python -m repro serve --model resnet18 --chips 4 \
+        --tenants "chat:interactive:w=4:poisson@200,bulk:batch:poisson@4000" \
+        --scheduler weighted-fair
+    python -m repro serve --model resnet18 --chips 2 --preempt \
+        --tenants "chat:interactive:poisson@500,scrape:best-effort:bursty@8000:rate=2000"
 """
 
 from __future__ import annotations
@@ -76,12 +88,14 @@ from repro.serve import (
     MODES,
     PLACEMENTS,
     ROUTING_POLICIES,
+    SCHEDULERS,
     SEQLEN_DISTS,
     THINK_DISTS,
     TRACE_KINDS,
     format_serving,
     parse_admission,
     parse_fleet,
+    parse_tenants,
     simulate_serving,
 )
 
@@ -127,6 +141,26 @@ def _serve(args: argparse.Namespace) -> str:
             admission = parse_admission(args.admission)
         except ValueError as error:
             raise SystemExit(f"--admission: {error}") from None
+    tenants = None
+    if args.tenants is not None:
+        try:
+            tenants = parse_tenants(args.tenants)
+        except (ValueError, KeyError) as error:
+            raise SystemExit(f"--tenants: {error}") from None
+        if args.clients is not None:
+            raise SystemExit(
+                "--tenants runs are open-loop; they cannot combine with "
+                "--clients"
+            )
+    elif args.scheduler != "fifo" or args.preempt:
+        raise SystemExit("--scheduler/--preempt need --tenants")
+    if args.preempt and (
+        args.power_cap is not None or args.t_max is not None
+    ):
+        raise SystemExit(
+            "--preempt cannot run under a power envelope (admitted "
+            "batches draw power to completion; there is no cancel edge)"
+        )
     if args.retries is not None and args.clients is None:
         raise SystemExit(
             "--retries needs --clients (open-loop rejections always drop)"
@@ -175,12 +209,28 @@ def _serve(args: argparse.Namespace) -> str:
         think_dist=args.think_dist,
         retry=retries,
         admission=admission,
+        tenants=tenants,
+        scheduler=args.scheduler,
+        preemption=args.preempt,
     )
     if args.clients is not None:
         header = (
             f"traffic           : {','.join(models)} closed-loop, "
             f"{args.clients} clients ({args.duration:g} s horizon, "
             f"seed {args.seed})"
+        )
+    elif tenants is not None:
+        mix = ", ".join(
+            f"{t.name} ({t.slo_class}, {t.trace_kind}@{t.rps:g})"
+            for t in tenants
+        )
+        header = (
+            f"traffic           : {mix} "
+            f"({args.duration:g} s horizon, seed {args.seed})"
+        )
+        header += (
+            f"\ntenancy           : {args.scheduler} scheduler, preemption "
+            f"{'on' if args.preempt else 'off'}"
         )
     else:
         header = (
@@ -430,6 +480,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="admission-control policy spec: one of "
         f"{', '.join(ADMISSION_POLICIES)}, with optional parameters, "
         "e.g. queue-cap:64, token-bucket:5000:16, slo-aware:2.5",
+    )
+    serve.add_argument(
+        "--tenants",
+        type=str,
+        default=None,
+        help="multi-tenant spec: comma-separated "
+        "NAME:CLASS[:w=W][:KIND@RPS][:model=M1+M2][:seqlen=DIST[@MEAN]]"
+        "[:rate=RPS[@BURST]][:deadline=MS], e.g. "
+        "chat:interactive:w=4:poisson@200,bulk:batch:poisson@4000 "
+        "(classes: interactive, batch, best-effort; replaces "
+        "--rps/--trace/--seqlen-*, which each tenant declares itself)",
+    )
+    serve.add_argument(
+        "--scheduler",
+        choices=SCHEDULERS,
+        default="fifo",
+        help="dispatch order across tenant queues (needs --tenants; "
+        "weighted-fair shares chip time by tenant weight)",
+    )
+    serve.add_argument(
+        "--preempt",
+        action="store_true",
+        help="let interactive arrivals preempt running lower-priority "
+        "batches when waiting would miss their deadline (needs --tenants; "
+        "incompatible with a power envelope)",
     )
     serve.add_argument(
         "--mode",

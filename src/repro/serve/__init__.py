@@ -39,6 +39,18 @@ the cluster cannot absorb:
         admission="queue-cap:32", seed=0,
     )
 
+Traffic can also be **multi-tenant** (:mod:`repro.serve.tenancy`): named
+tenants with their own traffic mixes, SLO classes and weights share the
+fleet under a pluggable dispatch scheduler (``fifo`` /
+``strict-priority`` / ``weighted-fair``), with optional deadline-driven
+preemption of lower-priority batches:
+
+    report, _ = simulate_serving(
+        ["resnet18"], n_chips=4,
+        tenants="chat:interactive:w=4:poisson@200,bulk:batch:poisson@4000",
+        scheduler="weighted-fair", seed=0,
+    )
+
 The same entry point backs ``python -m repro serve`` and the
 ``benchmarks/bench_serving.py`` suite.
 """
@@ -55,6 +67,7 @@ from repro.serve.admission import (
     AdmissionPolicy,
     QueueDepthCap,
     SloAwareShedding,
+    TenantTokenBucket,
     TokenBucket,
     parse_admission,
 )
@@ -104,6 +117,7 @@ from repro.serve.metrics import (
     ChipTypeStats,
     ModelServingStats,
     ServingReport,
+    TenantStats,
     format_serving,
     percentile,
     summarize,
@@ -116,6 +130,22 @@ from repro.serve.power import (
     PowerTrace,
     ThermalNode,
     ThrottlePolicy,
+)
+from repro.serve.tenancy import (
+    SCHEDULERS,
+    SLO_CLASSES,
+    FifoScheduler,
+    PreemptionRecord,
+    Scheduler,
+    SloClass,
+    StrictPriorityScheduler,
+    Tenant,
+    TenancyConfig,
+    WeightedFairScheduler,
+    deadline_ns,
+    make_scheduler,
+    parse_tenants,
+    tenant_traces,
 )
 from repro.serve.traces import (
     Request,
@@ -157,30 +187,43 @@ __all__ = [
     "ModelQueue",
     "ModelServingStats",
     "PLACEMENTS",
+    "FifoScheduler",
     "PowerConfig",
     "PowerGovernor",
     "PowerModel",
     "PowerTrace",
+    "PreemptionRecord",
     "QueueDepthCap",
     "ROUTING_POLICIES",
     "RejectedRequest",
     "Request",
     "RetryPolicy",
+    "SCHEDULERS",
     "SEQLEN_DISTS",
+    "SLO_CLASSES",
+    "Scheduler",
     "ServedRequest",
     "ServingEngine",
     "ServingReport",
     "ServingResult",
     "SloAwareShedding",
+    "SloClass",
+    "StrictPriorityScheduler",
     "THINK_DISTS",
     "TRACE_KINDS",
+    "Tenant",
+    "TenancyConfig",
+    "TenantStats",
+    "TenantTokenBucket",
     "ThermalNode",
     "ThrottlePolicy",
     "TokenBucket",
+    "WeightedFairScheduler",
     "backend_for",
     "bucket_for",
     "bursty_trace",
     "chip_spec",
+    "deadline_ns",
     "default_buckets",
     "diurnal_trace",
     "estimated_saturation_clients",
@@ -192,10 +235,12 @@ __all__ = [
     "homogeneous_fleet",
     "lognormal_seqlens",
     "longtail_seqlens",
+    "make_scheduler",
     "make_trace",
     "merge_traces",
     "parse_admission",
     "parse_fleet",
+    "parse_tenants",
     "percentile",
     "plan_cluster",
     "plan_fleet",
@@ -203,6 +248,7 @@ __all__ = [
     "sample_seqlens",
     "simulate_serving",
     "summarize",
+    "tenant_traces",
     "uniform_seqlens",
     "uniform_trace",
     "with_seqlens",
@@ -240,6 +286,10 @@ def simulate_serving(
     think_dist: str = "exponential",
     retry: Optional[Union[int, RetryPolicy]] = None,
     admission: Optional[Union[str, AdmissionPolicy]] = None,
+    tenants: Optional[Union[str, Sequence[Tenant], TenancyConfig]] = None,
+    scheduler: str = "fifo",
+    preemption: bool = False,
+    preemption_overhead_ns: float = 10_000.0,
 ) -> Tuple[ServingReport, ServingResult]:
     """End-to-end serving run: build trace + cluster, simulate, summarize.
 
@@ -294,6 +344,26 @@ def simulate_serving(
     string (``"queue-cap:64"``, ``"token-bucket:5000"``,
     ``"slo-aware"``).  ``None``/``accept-all`` is the golden-guarded
     no-op.
+
+    ``tenants`` switches the run to **multi-tenant** serving — a
+    :class:`~repro.serve.tenancy.TenancyConfig`, a sequence of
+    :class:`~repro.serve.tenancy.Tenant` records, or the CLI grammar
+    string (``"chat:interactive:w=4:poisson@200,bulk:batch:..."``, see
+    :func:`~repro.serve.tenancy.parse_tenants`).  Each tenant then
+    carries its own traffic mix, so the run-level ``rps`` /
+    ``trace_kind`` / ``seqlen_dist`` / ``seqlen_mean`` knobs are ignored
+    (each tenant declares its own); ``scheduler`` picks the dispatch
+    order across tenant queues (:data:`~repro.serve.tenancy.SCHEDULERS`)
+    and ``preemption`` lets interactive arrivals evict running
+    lower-priority batches at an explicit
+    ``preemption_overhead_ns`` re-dispatch cost.  Tenants declaring a
+    ``rate=`` limit are automatically fronted by per-tenant token
+    buckets (:class:`~repro.serve.admission.TenantTokenBucket`)
+    composing with any cluster-wide ``admission`` policy.  Multi-tenant
+    runs are open-loop (incompatible with ``clients``), and preemption
+    cannot run under a power envelope.  A single-tenant ``fifo``
+    configuration replays the untagged run byte for byte
+    (golden-guarded).
     """
     if not models:
         raise ValueError("need at least one model to serve")
@@ -330,6 +400,39 @@ def simulate_serving(
             "retry-with-backoff needs closed-loop clients; open-loop "
             "rejections always drop"
         )
+    tenancy: Optional[TenancyConfig] = None
+    if tenants is not None:
+        if clients is not None:
+            raise ValueError(
+                "multi-tenant serving is open-loop; it cannot combine "
+                "with closed-loop clients"
+            )
+        if isinstance(tenants, TenancyConfig):
+            tenancy = tenants
+        else:
+            tenant_tuple = (
+                parse_tenants(tenants)
+                if isinstance(tenants, str)
+                else tuple(tenants)
+            )
+            tenancy = TenancyConfig(
+                tenant_tuple,
+                scheduler=scheduler,
+                preemption=preemption,
+                preemption_overhead_ns=preemption_overhead_ns,
+            )
+        for tenant in tenancy.tenants:
+            unknown = [m for m in tenant.models if m not in models]
+            if unknown:
+                raise ValueError(
+                    f"tenant {tenant.name!r} calls {unknown} but the run "
+                    f"serves {list(models)}"
+                )
+    elif scheduler != "fifo" or preemption:
+        raise ValueError(
+            "scheduler/preemption knobs need a multi-tenant run; pass "
+            "tenants="
+        )
     workloads = [get_workload(name) for name in models]
     max_context = (
         int(max(seqlen_buckets)) if seqlen_buckets else None
@@ -365,6 +468,27 @@ def simulate_serving(
             seqlen_mean=seqlen_mean,
             max_seq_len=max(buckets) if buckets else None,
         )
+    elif tenancy is not None:
+        # Each tenant declares its own traffic mix; the run-level rps /
+        # trace_kind / seqlen knobs do not apply.  Tenant 0 draws from
+        # the exact legacy seed lanes, so a single-tenant config
+        # reproduces the untagged trace bit for bit.
+        trace, max_sampled = tenant_traces(
+            tenancy,
+            duration_s,
+            seed,
+            default_models=tuple(models),
+            native_seq_len={
+                name: w.seq_len for name, w in zip(models, workloads)
+            },
+            max_context=max_context,
+        )
+        if seqlen_buckets is not None:
+            buckets = tuple(int(b) for b in seqlen_buckets)
+        elif max_sampled:
+            buckets = default_buckets(max_sampled)
+        else:
+            buckets = ()
     else:
         per_model_rps = rps / len(models)
         sub_traces = []
@@ -411,9 +535,30 @@ def simulate_serving(
         window_ns=window_ms * 1e6,
         seqlen_buckets=buckets,
     )
+    if tenancy is not None:
+        # Tenants declaring a rate= limit get their own admission token
+        # buckets, charged at their *declared* rate, in front of any
+        # cluster-wide policy.
+        limits = {
+            t.name: TokenBucket(t.rate_limit_rps, t.rate_limit_burst)
+            for t in tenancy.tenants
+            if t.rate_limit_rps is not None
+        }
+        if limits:
+            inner = (
+                parse_admission(admission)
+                if isinstance(admission, str)
+                else admission
+            )
+            admission = TenantTokenBucket(limits, inner=inner)
     engine = ServingEngine(
-        cluster, policy, routing=routing, power=power, admission=admission
+        cluster,
+        policy,
+        routing=routing,
+        power=power,
+        admission=admission,
+        tenancy=tenancy,
     )
     result = engine.run(trace, clients=population)
-    report = summarize(result, cluster, slo_ms=slo_ms)
+    report = summarize(result, cluster, slo_ms=slo_ms, tenancy=tenancy)
     return report, result

@@ -220,6 +220,56 @@ class SloAwareShedding(AdmissionPolicy):
         return predicted_ns <= self._slo_ns[request.model]
 
 
+class TenantTokenBucket(AdmissionPolicy):
+    """Per-tenant token buckets enforcing each tenant's *declared* rate.
+
+    Built from the tenants' ``rate_limit_rps`` declarations
+    (:class:`repro.serve.tenancy.Tenant`): each rate-limited tenant gets
+    its own continuously refilling bucket, charged only by that tenant's
+    arrivals, so one tenant exceeding its declared rate burns its own
+    tokens and nobody else's — the admission half of the noisy-neighbor
+    isolation story (the scheduler is the other half).  Tenants without a
+    declared limit (and untagged requests) pass through untouched.
+
+    An optional ``inner`` policy composes conjunctively: a request must
+    clear its tenant's bucket *and* the inner policy (e.g. a cluster-wide
+    queue cap) to enter.  The bucket is consulted first; a request the
+    bucket rejects never reaches — and so never perturbs — the inner
+    policy's state.
+    """
+
+    def __init__(
+        self,
+        limits: Dict[str, "TokenBucket"],
+        inner: Optional[AdmissionPolicy] = None,
+    ) -> None:
+        self._buckets = dict(limits)
+        self._inner = inner
+        self.name = "tenant-bucket" + (f"+{inner.name}" if inner else "")
+
+    def reset(self, cluster: "Cluster", policy: BatchingPolicy) -> None:
+        for bucket in self._buckets.values():
+            bucket.reset(cluster, policy)
+        if self._inner is not None:
+            self._inner.reset(cluster, policy)
+
+    def admit(
+        self,
+        request: Request,
+        now_ns: float,
+        model_depth: int,
+        total_depth: int,
+    ) -> bool:
+        bucket = self._buckets.get(request.tenant)
+        if bucket is not None and not bucket.admit(
+            request, now_ns, model_depth, total_depth
+        ):
+            return False
+        if self._inner is not None:
+            return self._inner.admit(request, now_ns, model_depth, total_depth)
+        return True
+
+
 def parse_admission(spec: str) -> AdmissionPolicy:
     """Build a policy from its CLI spec string.
 

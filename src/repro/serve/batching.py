@@ -123,6 +123,15 @@ class Batch:
         return len(self.requests)
 
     @property
+    def tenant(self) -> str:
+        """Owning tenant ("" for untagged traffic).
+
+        The engine keeps one queue per (tenant, model) pair, so a batch
+        never mixes tenants — the first request speaks for all of them.
+        """
+        return self.requests[0].tenant
+
+    @property
     def oldest_wait_ns(self) -> float:
         return self.dispatch_ns - min(r.arrival_ns for r in self.requests)
 
@@ -184,6 +193,27 @@ class ModelQueue:
         bucket = bucket_for(request.seq_len, self.buckets)
         self._pending.setdefault(bucket, collections.deque()).append(request)
         self._size += 1
+
+    def push_front(self, requests: "Tuple[Request, ...]") -> None:
+        """Re-queue preempted requests at the *front* of their buckets.
+
+        The requests arrive in their original dequeue order, so pushing
+        them left in reverse restores each bucket's exact arrival order —
+        a preempted request keeps its place in line (and its original
+        arrival stamp, so its latency keeps accruing while it waits to be
+        re-dispatched).
+        """
+        for request in reversed(requests):
+            if request.model != self.model:
+                raise ValueError(
+                    f"request for {request.model!r} pushed onto "
+                    f"{self.model!r} queue"
+                )
+            bucket = bucket_for(request.seq_len, self.buckets)
+            self._pending.setdefault(
+                bucket, collections.deque()
+            ).appendleft(request)
+            self._size += 1
 
     def _nonempty(self) -> List[Tuple[int, Deque[Request]]]:
         return [(b, q) for b, q in self._pending.items() if q]

@@ -485,6 +485,12 @@ class Cluster:
         ``seq_len`` selects the sequence length the batch runs at (a bucket
         boundary, usually); 0 keeps the model's native shape — the CNN and
         fixed-seqlen path, which reproduces the original per-model cost.
+
+        The cache key is deliberately tenant-blind: a batch's cost depends
+        only on (chip type, model, batch size, sequence length), so every
+        tenant of a multi-tenant run shares the same cached cost rows —
+        ten tenants calling one model cost no more simulator probes than
+        one tenant does.
         """
         if chip_id not in self.chips_for(model):
             raise ValueError(f"chip {chip_id} does not host model {model!r}")

@@ -23,19 +23,37 @@ their session for retry-with-backoff (closed loop), and land on
 :attr:`ServingResult.rejected` instead of :attr:`ServingResult.served`.
 With ``admission=None`` — or the explicit :class:`AcceptAll` — the loop
 is byte-for-byte the pre-admission engine (golden-guarded).
+
+A :class:`repro.serve.tenancy.TenancyConfig` splits the queues per
+(tenant, model) pair, hands dispatch ordering to a pluggable
+:class:`~repro.serve.tenancy.Scheduler`, and optionally arms preemption:
+an interactive arrival that would miss its deadline may kill the most
+recently dispatched lower-priority batch on a hosting chip, requeue its
+requests at the front of their queue, and take the chip after an explicit
+re-dispatch overhead.  Without a tenancy config — or with the degenerate
+single-tenant ``fifo`` one — the loop is byte-for-byte the pre-tenancy
+engine (golden-guarded by ``tests/test_tenancy_differential.py``).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import heapq
+import math
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.serve.admission import AdmissionPolicy, parse_admission
-from repro.serve.batching import BatchingPolicy, ModelQueue
+from repro.serve.batching import Batch, BatchingPolicy, ModelQueue
 from repro.serve.clients import ClientPopulation, ClosedLoopDriver
 from repro.serve.cluster import Cluster
 from repro.serve.power import PowerConfig, PowerGovernor, PowerTrace
+from repro.serve.tenancy import (
+    FifoScheduler,
+    PreemptionRecord,
+    TenancyConfig,
+    deadline_ns,
+    make_scheduler,
+)
 from repro.serve.traces import Request
 
 #: Event kinds, in same-timestamp processing order: completions free chips
@@ -109,6 +127,29 @@ class RejectedRequest:
     attempts: int = 1
 
 
+@dataclasses.dataclass
+class _InFlight:
+    """One batch currently occupying a chip (a completion-event payload).
+
+    All accounting floats are computed at dispatch time and carried here,
+    so moving the bookkeeping to the completion event changes no value —
+    only *when* it lands in the result (which is what lets preemption
+    cancel a batch before its accounting ever happens).  ``busy_ns`` is
+    the chip occupancy to charge on completion: the service time, plus
+    the re-dispatch overhead when the batch was dispatched onto a freshly
+    preempted chip.
+    """
+
+    key: int  # unique id; tombstoned in the engine's cancelled set
+    batch: Batch
+    chip_id: int
+    dispatch_ns: float
+    finish_ns: float
+    busy_ns: float
+    share_pj: float  # per-request energy share
+    padded: int
+
+
 @dataclasses.dataclass(frozen=True)
 class ServingResult:
     """Everything one simulation run produced.
@@ -118,7 +159,9 @@ class ServingResult:
     to the engine); ``None`` on the legacy power-blind path.  ``rejected``
     / ``n_rejections`` account for admission control (empty/0 without a
     shedding policy) and ``clients`` echoes the closed-loop population
-    when the run was client-driven (``None`` = open loop).
+    when the run was client-driven (``None`` = open loop).  ``scheduler``
+    / ``tenants`` / ``preempted`` echo the multi-tenant contract when one
+    ran (``scheduler is None`` = the tenant-blind legacy path).
     """
 
     served: Tuple[ServedRequest, ...]
@@ -132,6 +175,9 @@ class ServingResult:
     n_rejections: int = 0  # every reject event, retried-then-served included
     admission: Optional[str] = None  # policy name; None = no admission layer
     clients: Optional[ClientPopulation] = None
+    scheduler: Optional[str] = None  # dispatch scheduler; None = no tenancy
+    tenants: Tuple[str, ...] = ()  # declared tenant names, config order
+    preempted: Tuple[PreemptionRecord, ...] = ()
 
     @property
     def n_requests(self) -> int:
@@ -220,6 +266,24 @@ class ServingResult:
                 seen.append(s.request.model)
         return tuple(seen)
 
+    @property
+    def n_preemptions(self) -> int:
+        """Batches killed mid-service by a latency-critical arrival."""
+        return len(self.preempted)
+
+    @property
+    def preempted_wasted_ns(self) -> float:
+        """Service time burned by preempted batches (work the cluster redid)."""
+        return sum(p.wasted_ns for p in self.preempted)
+
+    def for_tenant(self, tenant: str) -> Tuple[ServedRequest, ...]:
+        return tuple(s for s in self.served if s.request.tenant == tenant)
+
+    def rejected_for_tenant(self, tenant: str) -> Tuple[RejectedRequest, ...]:
+        return tuple(
+            r for r in self.rejected if r.request.tenant == tenant
+        )
+
 
 class ServingEngine:
     """Run request traces against a :class:`Cluster` under one policy.
@@ -244,6 +308,15 @@ class ServingEngine:
     spec string, e.g. ``"queue-cap:64"``).  ``None`` — and the explicit
     ``accept-all`` policy — leave the simulation byte-for-byte identical
     to the pre-admission engine.
+
+    ``tenancy`` turns on multi-tenant serving
+    (:class:`repro.serve.tenancy.TenancyConfig`): per-(tenant, model)
+    queues, a pluggable dispatch scheduler, and optional deadline-driven
+    preemption.  Every trace request must then carry a declared tenant
+    tag.  Preemption cannot run under a power governor: the governor
+    integrates each admitted batch's power draw through to its completion
+    instant and has no cancellation edge, so a killed batch would keep
+    drawing phantom power — the combination is rejected at construction.
     """
 
     def __init__(
@@ -253,6 +326,7 @@ class ServingEngine:
         routing: str = "fastest",
         power: Optional[PowerConfig] = None,
         admission: Optional[Union[str, AdmissionPolicy]] = None,
+        tenancy: Optional[TenancyConfig] = None,
     ) -> None:
         if routing not in ROUTING_POLICIES:
             raise ValueError(
@@ -260,11 +334,18 @@ class ServingEngine:
             )
         if isinstance(admission, str):
             admission = parse_admission(admission)
+        if tenancy is not None and tenancy.preemption and power is not None:
+            raise ValueError(
+                "preemption cannot run under a power governor: admitted "
+                "batches draw power through to their completion instant "
+                "and the governor has no cancellation edge"
+            )
         self._cluster = cluster
         self._policy = policy
         self._routing = routing
         self._power = power
         self._admission = admission
+        self._tenancy = tenancy
 
     @property
     def cluster(self) -> Cluster:
@@ -286,6 +367,10 @@ class ServingEngine:
     def admission(self) -> Optional[AdmissionPolicy]:
         return self._admission
 
+    @property
+    def tenancy(self) -> Optional[TenancyConfig]:
+        return self._tenancy
+
     def run(
         self,
         trace: Sequence[Request] = (),
@@ -302,6 +387,13 @@ class ServingEngine:
             raise ValueError(
                 "pass an open-loop trace or a closed-loop client "
                 "population, not both"
+            )
+        tenancy = self._tenancy
+        if clients is not None and tenancy is not None:
+            raise ValueError(
+                "multi-tenant serving is open-loop for now: closed-loop "
+                "client sessions generate untagged requests and cannot "
+                "belong to a tenant; pass a tenant-tagged trace instead"
             )
         driver: Optional[ClosedLoopDriver] = None
         if clients is not None:
@@ -334,19 +426,58 @@ class ServingEngine:
             else None
         )
         known = set(cluster.models)
+        known_tenants = set(tenancy.names) if tenancy is not None else {""}
         for request in trace:
             if request.model not in known:
                 raise ValueError(
                     f"trace request for {request.model!r} but cluster hosts {sorted(known)}"
                 )
-        queues: Dict[str, ModelQueue] = {
-            m: ModelQueue(m, policy.seqlen_buckets) for m in cluster.models
-        }
+            if tenancy is not None and request.tenant not in known_tenants:
+                raise ValueError(
+                    f"trace request tagged {request.tenant!r} but the "
+                    f"tenancy config declares {tenancy.names}"
+                )
+        # One queue per (tenant, model) slot.  Without tenancy there is a
+        # single anonymous tenant "", so the slot list — and the dispatch
+        # scan order below — collapses to the legacy per-model layout.
+        tenant_order = tenancy.names if tenancy is not None else ("",)
         model_order = tuple(cluster.models)
+        slots: Tuple[Tuple[str, str], ...] = tuple(
+            (t, m) for t in tenant_order for m in model_order
+        )
+        queues: Dict[Tuple[str, str], ModelQueue] = {
+            (t, m): ModelQueue(m, policy.seqlen_buckets) for t, m in slots
+        }
+        # slot -> deadline of its one pending window timer.  Arming at
+        # most one timer per queue per deadline matters once the scan
+        # covers several queues: unguarded, every timer firing re-arms
+        # every other not-ready queue, and the timer population grows
+        # geometrically with the slot count (heap blowup at steady
+        # sub-capacity load, where queues sit non-empty-but-unready).
+        window_armed: Dict[Tuple[str, str], float] = {}
+        scheduler = (
+            make_scheduler(tenancy.scheduler)
+            if tenancy is not None
+            else FifoScheduler()
+        )
+        scheduler.reset(tenancy.tenants if tenancy is not None else ())
+        preempting = tenancy is not None and tenancy.preemption
+        if preempting:
+            priority_of = {t.name: t.slo.priority for t in tenancy.tenants}
+            deadlines = {
+                (t.name, m): deadline_ns(t, m, cluster)
+                for t in tenancy.tenants
+                for m in model_order
+            }
+        backlog: Dict[str, int] = {t: 0 for t in tenant_order}
         chip_free = [0.0] * cluster.n_chips
         chip_busy = [0.0] * cluster.n_chips
+        # chip -> its currently running batch (preemption victim lookup).
+        running: Dict[int, _InFlight] = {}
+        cancelled: set = set()  # tombstoned _InFlight keys
         served: List[ServedRequest] = []
         rejected: List[RejectedRequest] = []
+        preempted: List[PreemptionRecord] = []
         n_rejections = 0
         n_batches = 0
         makespan = 0.0
@@ -356,10 +487,14 @@ class ServingEngine:
         for request in trace:
             heapq.heappush(events, (request.arrival_ns, _ARRIVAL, seq, request))
             seq += 1
-        # Round-robin rotation state: next host index per model.
+        # Round-robin rotation state: next host index per model (shared
+        # across tenants — rotation is a chip-placement concern, not a
+        # fairness one; the scheduler owns fairness).
         rr_next: Dict[str, int] = {m: 0 for m in cluster.models}
 
-        def pick_chip(model: str, free: List[int], now: float) -> int:
+        def pick_chip(
+            slot: Tuple[str, str], free: List[int], now: float
+        ) -> int:
             """Route the pending batch to one free hosting chip.
 
             Cost-aware policies price the exact batch about to pop (same
@@ -367,6 +502,7 @@ class ServingEngine:
             simulator-call-identical); ties always break toward the lowest
             chip id for determinism.
             """
+            model = slot[1]
             if self._routing == "round-robin":
                 hosts = cluster.chips_for(model)
                 start = rr_next[model]
@@ -377,7 +513,7 @@ class ServingEngine:
                         rr_next[model] = (start + offset + 1) % len(hosts)
                         return chip
                 raise RuntimeError("no free chip among hosts")  # unreachable
-            _, size, padded = queues[model].peek_batch(now, policy)
+            _, size, padded = queues[slot].peek_batch(now, policy)
             if throttler is not None:
                 # Throttle-aware pricing: a hot group's batches cost the
                 # *stretched* latency, so `fastest` steers around heat and
@@ -419,69 +555,179 @@ class ServingEngine:
                 ),
             )
 
+        def commit_batch(
+            slot: Tuple[str, str],
+            batch: Batch,
+            chip: int,
+            now: float,
+            overhead_ns: float = 0.0,
+        ) -> None:
+            """Price a popped batch, occupy the chip, schedule completion.
+
+            All result-facing accounting (served records, busy time,
+            makespan) is deferred to the completion event so a preemption
+            can still cancel the batch; the floats are computed here and
+            carried, so deferral changes no value.  ``overhead_ns`` is the
+            re-dispatch cost paid when ``chip`` was freed by a preemption
+            an instant ago.
+            """
+            nonlocal seq, n_batches
+            tenant, model = slot
+            if tenancy is not None:
+                backlog[tenant] -= batch.size
+            # The whole batch runs padded to its bucket boundary (or to
+            # its longest request without bucketing); 0 = native shape.
+            padded = batch.padded_seq_len
+            cost = cluster.service(chip, model, batch.size, padded)
+            if governor is not None:
+                service_ns = governor.admit(chip, now, cost)
+            else:
+                service_ns = cost.latency_ns
+            scheduler.on_dispatch(tenant, service_ns)
+            if overhead_ns:
+                finish = now + overhead_ns + service_ns
+                busy_ns = overhead_ns + service_ns
+            else:
+                finish = now + service_ns
+                busy_ns = service_ns
+            chip_free[chip] = finish
+            inflight = _InFlight(
+                key=seq,
+                batch=batch,
+                chip_id=chip,
+                dispatch_ns=now,
+                finish_ns=finish,
+                busy_ns=busy_ns,
+                share_pj=cost.energy_pj / batch.size,
+                padded=padded,
+            )
+            running[chip] = inflight
+            # Completion events carry the in-flight record — the feedback
+            # edge closed-loop clients listen on, and the unit preemption
+            # tombstones.  The seq tiebreak is unique, so the payload is
+            # never compared.
+            heapq.heappush(events, (finish, _COMPLETION, seq, inflight))
+            seq += 1
+            n_batches += 1
+
         def dispatch(now: float) -> None:
-            nonlocal seq, n_batches, makespan
+            nonlocal seq
             while True:
-                # Oldest-waiting ready queue goes first (FCFS across models;
-                # model order only breaks exact arrival-time ties), so no
-                # model can starve another by list position.
+                # The scheduler ranks every ready (tenant, model) queue;
+                # under fifo the key collapses to (oldest arrival, slot
+                # index) — FCFS across queues, the legacy rule, so no
+                # queue can starve another by list position.
                 best = None
-                for index, model in enumerate(model_order):
-                    queue = queues[model]
+                for index, slot in enumerate(slots):
+                    queue = queues[slot]
                     if not len(queue):
                         continue
                     free = [
-                        c for c in cluster.chips_for(model) if chip_free[c] <= now
+                        c
+                        for c in cluster.chips_for(slot[1])
+                        if chip_free[c] <= now
                     ]
                     if not free:
                         continue  # all hosts busy; a completion event is pending
                     if not queue.ready(now, policy):
-                        heapq.heappush(
-                            events,
-                            (queue.window_deadline_ns(policy), _WINDOW, seq, None),
-                        )
-                        seq += 1
+                        deadline = queue.window_deadline_ns(policy)
+                        if window_armed.get(slot) != deadline:
+                            heapq.heappush(
+                                events, (deadline, _WINDOW, seq, slot)
+                            )
+                            seq += 1
+                            window_armed[slot] = deadline
                         continue
-                    key = (queue.oldest_arrival_ns, index)
+                    key = scheduler.key(
+                        slot[0], queue.oldest_arrival_ns, index
+                    )
                     if best is None or key < best[0]:
-                        best = (key, model, free)
+                        best = (key, slot, free)
                 if best is None:
                     return
-                _, model, free = best
-                chip = pick_chip(model, free, now)
-                batch = queues[model].pop_batch(now, policy)
-                # The whole batch runs padded to its bucket boundary (or to
-                # its longest request without bucketing); 0 = native shape.
-                padded = batch.padded_seq_len
-                cost = cluster.service(chip, model, batch.size, padded)
-                if governor is not None:
-                    service_ns = governor.admit(chip, now, cost)
-                else:
-                    service_ns = cost.latency_ns
-                finish = now + service_ns
-                chip_free[chip] = finish
-                chip_busy[chip] += service_ns
-                makespan = max(makespan, finish)
-                share = cost.energy_pj / batch.size
-                for request in batch.requests:
-                    served.append(
-                        ServedRequest(
-                            request=request,
-                            chip_id=chip,
-                            batch_size=batch.size,
-                            dispatch_ns=now,
-                            finish_ns=finish,
-                            energy_pj=share,
-                            seq_len=request.seq_len,
-                            padded_seq_len=padded if request.seq_len else 0,
-                        )
-                    )
-                # Completion events carry the batch's requests — the
-                # feedback edge closed-loop clients listen on.  The seq
-                # tiebreak is unique, so the payload is never compared.
-                heapq.heappush(events, (finish, _COMPLETION, seq, batch.requests))
-                seq += 1
-                n_batches += 1
+                _, slot, free = best
+                chip = pick_chip(slot, free, now)
+                batch = queues[slot].pop_batch(now, policy)
+                commit_batch(slot, batch, chip, now)
+
+        def enqueue(request: Request, now: float) -> None:
+            """Admitted arrival enters its (tenant, model) queue."""
+            tenant = request.tenant if tenancy is not None else ""
+            queues[(tenant, request.model)].push(request)
+            if tenancy is not None:
+                backlog[tenant] += 1
+                if backlog[tenant] == 1:
+                    scheduler.on_activate(tenant)
+                if preempting:
+                    maybe_preempt(request, now)
+
+        def maybe_preempt(request: Request, now: float) -> None:
+            """Kill a lower-priority batch if waiting would miss a deadline.
+
+            Fires only for preempting SLO classes, only when every hosting
+            chip is busy, and only when the deadline arithmetic says the
+            earliest natural free instant is too late while an immediate
+            preemptive dispatch (re-dispatch overhead included) is not.
+            The victim is the most recently dispatched strictly-lower-
+            priority batch on a hosting chip — the one with the least
+            service time to waste — and the preempting tenant's queue
+            dispatches onto the freed chip at once, ahead of the normal
+            scheduler scan (which would otherwise hand the chip straight
+            back to the older requeued victim).
+            """
+            tenant = tenancy.tenant(request.tenant)
+            if not tenant.slo.preempts:
+                return
+            model = request.model
+            limit = deadlines[(request.tenant, model)]
+            if math.isinf(limit):
+                return
+            hosts = cluster.chips_for(model)
+            if any(chip_free[c] <= now for c in hosts):
+                return  # a free host exists; the normal dispatch handles it
+            deadline_at = request.arrival_ns + limit
+            ref = cluster.reference_latency_ns(model)
+            overhead = tenancy.preemption_overhead_ns
+            if min(chip_free[c] for c in hosts) + ref <= deadline_at:
+                return  # waiting for the earliest chip still makes it
+            if now + overhead + ref > deadline_at:
+                return  # already dead on arrival; preempting wastes work
+            mine = priority_of[request.tenant]
+            victims = [
+                (c, running[c])
+                for c in hosts
+                if c in running
+                and priority_of.get(running[c].batch.tenant, mine) > mine
+            ]
+            if not victims:
+                return
+            chip, victim = max(
+                victims, key=lambda cv: (cv[1].dispatch_ns, -cv[0])
+            )
+            cancelled.add(victim.key)
+            del running[chip]
+            wasted = now - victim.dispatch_ns
+            chip_busy[chip] += wasted
+            victim_slot = (victim.batch.tenant, victim.batch.model)
+            queues[victim_slot].push_front(victim.batch.requests)
+            if backlog[victim.batch.tenant] == 0:
+                scheduler.on_activate(victim.batch.tenant)
+            backlog[victim.batch.tenant] += victim.batch.size
+            preempted.append(
+                PreemptionRecord(
+                    tenant=victim.batch.tenant,
+                    model=victim.batch.model,
+                    chip_id=chip,
+                    preempt_ns=now,
+                    wasted_ns=wasted,
+                    batch_size=victim.batch.size,
+                    by_tenant=request.tenant,
+                )
+            )
+            chip_free[chip] = now
+            slot = (request.tenant, model)
+            batch = queues[slot].pop_batch(now, policy)
+            commit_batch(slot, batch, chip, now, overhead_ns=overhead)
 
         def push_arrival(request: Request) -> None:
             nonlocal seq
@@ -499,10 +745,13 @@ class ServingEngine:
                 if admission is None or admission.admit(
                     request,
                     now,
-                    len(queues[request.model]),
+                    sum(
+                        len(queues[(t, request.model)])
+                        for t in tenant_order
+                    ),
                     sum(len(q) for q in queues.values()),
                 ):
-                    queues[request.model].push(request)
+                    enqueue(request, now)
                 else:
                     n_rejections += 1
                     if driver is None:
@@ -527,13 +776,52 @@ class ServingEngine:
                             )
                             if outcome.next_request is not None:
                                 push_arrival(outcome.next_request)
-            elif kind == _COMPLETION and driver is not None:
-                # The feedback edge: each finished request unblocks its
-                # session, which thinks and then issues the next arrival.
-                for request in payload:
-                    follow = driver.on_complete(request, now)
-                    if follow is not None:
-                        push_arrival(follow)
+            elif kind == _WINDOW:
+                # The timer is spent; clear its armed marker (unless the
+                # queue re-armed at a later deadline meanwhile) so the
+                # dispatch scan below can arm the next one.
+                if window_armed.get(payload) == now:
+                    del window_armed[payload]
+            elif kind == _COMPLETION:
+                inflight = payload
+                if inflight.key in cancelled:
+                    # Preempted mid-service: the wasted time was charged
+                    # and the requests requeued at preemption time; the
+                    # stale completion is a no-op tombstone.
+                    cancelled.discard(inflight.key)
+                    continue
+                if running.get(inflight.chip_id) is inflight:
+                    del running[inflight.chip_id]
+                # All floats were fixed at dispatch; landing the
+                # accounting here (completion order == per-chip dispatch
+                # order, and `served` is re-sorted below) is
+                # value-identical to the legacy dispatch-time bookkeeping.
+                chip_busy[inflight.chip_id] += inflight.busy_ns
+                makespan = max(makespan, inflight.finish_ns)
+                batch = inflight.batch
+                for request in batch.requests:
+                    served.append(
+                        ServedRequest(
+                            request=request,
+                            chip_id=inflight.chip_id,
+                            batch_size=batch.size,
+                            dispatch_ns=inflight.dispatch_ns,
+                            finish_ns=inflight.finish_ns,
+                            energy_pj=inflight.share_pj,
+                            seq_len=request.seq_len,
+                            padded_seq_len=(
+                                inflight.padded if request.seq_len else 0
+                            ),
+                        )
+                    )
+                if driver is not None:
+                    # The feedback edge: each finished request unblocks
+                    # its session, which thinks and then issues the next
+                    # arrival.
+                    for request in batch.requests:
+                        follow = driver.on_complete(request, now)
+                        if follow is not None:
+                            push_arrival(follow)
             dispatch(now)
 
         leftover = sum(len(q) for q in queues.values())
@@ -553,4 +841,7 @@ class ServingEngine:
             n_rejections=n_rejections,
             admission=admission.name if admission is not None else None,
             clients=clients,
+            scheduler=tenancy.scheduler if tenancy is not None else None,
+            tenants=tenancy.names if tenancy is not None else (),
+            preempted=tuple(preempted),
         )

@@ -16,6 +16,7 @@ from repro.experiments.report import format_table
 from repro.serve.cluster import Cluster
 from repro.serve.engine import ServingResult
 from repro.serve.power import PowerTrace
+from repro.serve.tenancy import TenancyConfig, deadline_ns
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -84,6 +85,40 @@ class ChipTypeStats:
 
 
 @dataclasses.dataclass(frozen=True)
+class TenantStats:
+    """Serving roll-up for one tenant of a multi-tenant run.
+
+    Attainment is scored against the tenant's own deadline (its SLO
+    class's multiple of each model's batch-1 floor, or its absolute
+    override) when the tenancy config is handed to :func:`summarize`,
+    falling back to the report's per-model SLO otherwise.  All ratios are
+    zero-guarded: a tenant whose every request was shed (or that never
+    completed anything inside the horizon) reports 0.0 latencies and a
+    vacuous attainment of 1.0 rather than dividing by zero.
+    """
+
+    tenant: str
+    slo_class: str
+    weight: float
+    n_offered: int  # distinct requests reaching the front door
+    n_requests: int  # served
+    n_dropped: int  # shed for good by admission
+    p50_ms: float
+    p99_ms: float
+    mean_ms: float
+    slo_attainment: float  # vacuous 1.0 when nothing was served
+    goodput_rps: float  # in-deadline completions per second of makespan
+    n_preemptions: int  # batches this tenant lost mid-service
+    preempted_wasted_ms: float  # service time those losses burned
+
+    @property
+    def rejection_rate(self) -> float:
+        if self.n_offered == 0:
+            return 0.0
+        return self.n_dropped / self.n_offered
+
+
+@dataclasses.dataclass(frozen=True)
 class ServingReport:
     """Cluster-wide summary of one serving simulation."""
 
@@ -122,6 +157,13 @@ class ServingReport:
     n_clients: int = 0
     think_time_ms: float = 0.0
     think_dist: str = ""
+    # Multi-tenant accounting (has_tenants gates the section; a
+    # degenerate single-tenant fifo run without preemptions keeps the
+    # legacy report byte for byte).
+    per_tenant: Tuple[TenantStats, ...] = ()
+    scheduler: Optional[str] = None
+    n_preemptions: int = 0
+    preempted_wasted_ms: float = 0.0
 
     @property
     def has_tokens(self) -> bool:
@@ -158,6 +200,22 @@ class ServingReport:
         return self.n_requests / self.n_clients
 
     @property
+    def has_tenants(self) -> bool:
+        """Is the tenant breakdown worth a section of its own?
+
+        Only when the run was genuinely multi-tenant — more than one
+        declared tenant, a non-fifo scheduler, or at least one preemption.
+        The degenerate single-tenant fifo configuration stays on the
+        legacy report format byte for byte (golden-guarded), with its
+        per-tenant stats still available programmatically.
+        """
+        return (
+            len(self.per_tenant) > 1
+            or self.n_preemptions > 0
+            or self.scheduler not in (None, "fifo")
+        )
+
+    @property
     def has_chip_types(self) -> bool:
         """Is this a genuinely mixed fleet worth a per-type breakdown?"""
         return len(self.per_chip_type) > 1
@@ -191,6 +249,7 @@ def summarize(
     cluster: Cluster,
     slo_ms: Optional[float] = None,
     slo_multiple: float = 10.0,
+    tenancy: Optional[TenancyConfig] = None,
 ) -> ServingReport:
     """Roll a simulation up into a :class:`ServingReport`.
 
@@ -198,6 +257,10 @@ def summarize(
     latency on its best hosting chip — the no-queueing floor, independent
     of fleet group order — so it scales sensibly from AlexNet to LLaMA
     without per-model tuning.
+
+    Pass the run's ``tenancy`` config to score each tenant's attainment
+    against its *own* SLO-class deadline; without it, tenants are scored
+    against the report-level per-model SLO like everything else.
     """
     duration_s = result.makespan_ns * 1e-9
     per_model = []
@@ -280,6 +343,49 @@ def summarize(
                 watts=energy_pj / busy_ns * 1e-3 if busy_ns > 0 else 0.0,
             )
         )
+    per_tenant = []
+    for name in result.tenants:
+        tenant_cfg = tenancy.tenant(name) if tenancy is not None else None
+        served_here = result.for_tenant(name)
+        dropped_here = result.rejected_for_tenant(name)
+        latencies_ms = [s.latency_ns * 1e-6 for s in served_here]
+
+        def _deadline_ms(model: str) -> float:
+            if tenant_cfg is not None:
+                return deadline_ns(tenant_cfg, model, cluster) * 1e-6
+            return model_slo_ms[model]
+
+        met_here = sum(
+            1
+            for s in served_here
+            if s.latency_ns * 1e-6 <= _deadline_ms(s.request.model)
+        )
+        lost = [p for p in result.preempted if p.tenant == name]
+        per_tenant.append(
+            TenantStats(
+                tenant=name,
+                slo_class=(
+                    tenant_cfg.slo_class if tenant_cfg is not None else ""
+                ),
+                weight=tenant_cfg.weight if tenant_cfg is not None else 1.0,
+                n_offered=len(served_here) + len(dropped_here),
+                n_requests=len(served_here),
+                n_dropped=len(dropped_here),
+                p50_ms=percentile(latencies_ms, 50) if latencies_ms else 0.0,
+                p99_ms=percentile(latencies_ms, 99) if latencies_ms else 0.0,
+                mean_ms=(
+                    sum(latencies_ms) / len(latencies_ms)
+                    if latencies_ms
+                    else 0.0
+                ),
+                slo_attainment=(
+                    met_here / len(served_here) if served_here else 1.0
+                ),
+                goodput_rps=met_here / duration_s if duration_s > 0 else 0.0,
+                n_preemptions=len(lost),
+                preempted_wasted_ms=sum(p.wasted_ns for p in lost) * 1e-6,
+            )
+        )
     accelerator = (
         "+".join(cluster.chip_types)
         if cluster.heterogeneous
@@ -312,6 +418,10 @@ def summarize(
         padding_overhead=result.padding_overhead,
         per_chip_type=tuple(per_chip_type),
         power=result.power,
+        per_tenant=tuple(per_tenant),
+        scheduler=result.scheduler,
+        n_preemptions=result.n_preemptions,
+        preempted_wasted_ms=result.preempted_wasted_ns * 1e-6,
     )
 
 
@@ -354,6 +464,13 @@ def format_serving(report: ServingReport) -> str:
             f"offered {report.n_offered}, shed {report.n_dropped} "
             f"({100 * report.rejection_rate:.1f} %), retries {report.n_retries}"
         )
+    if report.has_tenants:
+        lines.append(
+            f"tenancy           : {report.scheduler} scheduler, "
+            f"{len(report.per_tenant)} tenants — "
+            f"{report.n_preemptions} preemptions "
+            f"({report.preempted_wasted_ms:.3f} ms wasted)"
+        )
     if report.has_tokens:
         lines += [
             f"token goodput     : {report.tokens_per_s:.0f} tok/s",
@@ -392,6 +509,30 @@ def format_serving(report: ServingReport) -> str:
                 f"{100 * m.padding_overhead:.1f}%",
             ]
     lines.append(format_table(tuple(header), [tuple(r) for r in rows]))
+    if report.has_tenants:
+        lines.append("")
+        lines.append(
+            format_table(
+                ("tenant", "class", "w", "offered", "served", "shed",
+                 "p50 ms", "p99 ms", "attain", "goodput r/s", "preempt"),
+                [
+                    (
+                        t.tenant,
+                        t.slo_class or "-",
+                        f"{t.weight:g}",
+                        t.n_offered,
+                        t.n_requests,
+                        f"{t.n_dropped} ({100 * t.rejection_rate:.0f}%)",
+                        f"{t.p50_ms:.4f}",
+                        f"{t.p99_ms:.4f}",
+                        f"{100 * t.slo_attainment:.1f}%",
+                        f"{t.goodput_rps:.1f}",
+                        t.n_preemptions,
+                    )
+                    for t in report.per_tenant
+                ],
+            )
+        )
     if report.has_chip_types:
         lines.append("")
         lines.append(

@@ -39,13 +39,18 @@ class Request:
 
     ``seq_len`` is the request's own token count; 0 is the sentinel for
     "the model's native shape" (all CNN requests, and transformer traces
-    generated without a sequence-length distribution).
+    generated without a sequence-length distribution).  ``tenant`` names
+    the workload the request belongs to; the empty string is the
+    sentinel for untagged single-workload traffic (the legacy path —
+    every generator here produces untagged requests, and
+    ``repro.serve.tenancy`` tags them per tenant).
     """
 
     request_id: int
     model: str
     arrival_ns: float
     seq_len: int = 0
+    tenant: str = ""
 
     def __post_init__(self) -> None:
         if not self.model:
@@ -173,7 +178,7 @@ def merge_traces(*traces: Trace) -> Trace:
     """Interleave traces into one stream, re-numbering requests by time."""
     merged = sorted(
         (req for trace in traces for req in trace),
-        key=lambda r: (r.arrival_ns, r.model),
+        key=lambda r: (r.arrival_ns, r.model, r.tenant),
     )
     return tuple(
         dataclasses.replace(req, request_id=i) for i, req in enumerate(merged)

@@ -19,7 +19,8 @@ invariants, over randomized traces, cluster sizes and policy parameters:
   hypothesis finds real sub-percent p99 regressions for it, which is a
   finding about eager size-greedy batching, not a bug;
 * conservation — every offered request is served or dropped, exactly
-  once, under every policy;
+  once, under every policy; since PR 6 also *per tenant*, under every
+  scheduler, with the preemption requeue path in play;
 * the token bucket never admits more than ``burst + rate * horizon``
   requests, whatever the trace throws at it.
 
@@ -32,15 +33,20 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.serve import (
+    SCHEDULERS,
     AcceptAll,
     BatchingPolicy,
     Cluster,
     QueueDepthCap,
     ServingEngine,
     SloAwareShedding,
+    Tenant,
+    TenancyConfig,
+    TenantTokenBucket,
     TokenBucket,
     percentile,
     poisson_trace,
+    tenant_traces,
 )
 from repro.models.zoo import get_workload
 
@@ -167,3 +173,73 @@ class TestSloAwareSlack:
         )
         assert result.rejected == ()
         assert result.n_requests == len(trace)
+
+
+class TestTenantConservation:
+    """PR 6: conservation holds *per tenant* under every scheduler.
+
+    Each generated request must end in exactly one of served/dropped for
+    its own tenant — across fifo/strict-priority/weighted-fair, with a
+    per-tenant token bucket shedding one tenant's excess, and with the
+    preemption requeue path exercised (a preempted batch's requests must
+    come back and finish, never duplicate, never vanish).
+    """
+
+    @given(
+        seed=_SEEDS,
+        rps=_RPS,
+        chips=_CHIPS,
+        scheduler=st.sampled_from(SCHEDULERS),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_every_tenant_request_served_or_dropped_once(
+        self, seed, rps, chips, scheduler
+    ):
+        config = TenancyConfig(
+            (
+                # The tight absolute deadline makes preemption reachable.
+                Tenant(
+                    "chat",
+                    "interactive",
+                    weight=4.0,
+                    rps=rps / 4.0,
+                    deadline_ms=0.08,
+                ),
+                Tenant("bulk", "batch", rps=rps),
+            ),
+            scheduler=scheduler,
+            preemption=True,
+        )
+        trace, _ = tenant_traces(
+            config,
+            _DURATION_S,
+            seed,
+            default_models=("resnet18",),
+            native_seq_len={"resnet18": get_workload("resnet18").seq_len},
+        )
+        cluster = _cluster(chips)
+        engine = ServingEngine(
+            cluster,
+            BatchingPolicy(max_batch_size=8, window_ns=0.0),
+            admission=TenantTokenBucket(
+                {"bulk": TokenBucket(rate_rps=rps / 2.0, burst=8.0)}
+            ),
+            tenancy=config,
+        )
+        result = engine.run(trace)
+        for name in config.names:
+            offered = [r.request_id for r in trace if r.tenant == name]
+            served = [
+                s.request.request_id for s in result.for_tenant(name)
+            ]
+            dropped = [
+                r.request.request_id
+                for r in result.rejected_for_tenant(name)
+            ]
+            assert len(served) == len(set(served))
+            assert len(dropped) == len(set(dropped))
+            assert sorted(served + dropped) == offered
+        # Tags partition the whole run: no request escapes its tenant.
+        assert len(result.served) + len(result.rejected) == len(trace)
+        # Only the bucketed tenant can be shed.
+        assert result.rejected_for_tenant("chat") == ()

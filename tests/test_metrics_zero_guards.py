@@ -10,6 +10,8 @@ and the result/report properties must degrade to a defined value (0.0, or
 the serving metrics.
 """
 
+import dataclasses
+
 import pytest
 
 from repro.models.zoo import get_workload
@@ -18,11 +20,13 @@ from repro.serve import (
     Cluster,
     ServingEngine,
     SloAwareShedding,
+    Tenant,
+    TenancyConfig,
     format_serving,
     simulate_serving,
     summarize,
 )
-from repro.serve.traces import fixed_trace
+from repro.serve.traces import fixed_trace, merge_traces
 
 
 @pytest.fixture(scope="module")
@@ -108,3 +112,67 @@ class TestZeroTokenTraffic:
             assert m.mean_seq_len == 0.0
             assert m.energy_per_token_nj == 0.0
             assert m.padding_overhead == 0.0
+
+class TestTenantZeroGuards:
+    """PR 6: per-tenant sections survive a tenant that never completes."""
+
+    def _shed_everything(self, cluster):
+        config = TenancyConfig(
+            (Tenant("chat", "interactive"), Tenant("bulk", "batch")),
+            scheduler="strict-priority",
+        )
+        engine = ServingEngine(
+            cluster,
+            BatchingPolicy(max_batch_size=1),
+            admission=SloAwareShedding(slo_ms=1e-6),
+            tenancy=config,
+        )
+        trace = merge_traces(
+            tuple(
+                dataclasses.replace(r, tenant="chat")
+                for r in fixed_trace("resnet18", [0.0, 10.0])
+            ),
+            tuple(
+                dataclasses.replace(r, tenant="bulk")
+                for r in fixed_trace("resnet18", [5.0])
+            ),
+        )
+        result = engine.run(trace)
+        return result, summarize(result, cluster, tenancy=config), config
+
+    def test_fully_shed_tenants_render_without_dividing(self, cluster):
+        result, report, _ = self._shed_everything(cluster)
+        assert result.n_requests == 0 and result.n_dropped == 3
+        _assert_zero_report_is_sane(report)
+        assert report.has_tenants  # two tenants, non-fifo scheduler
+        assert len(report.per_tenant) == 2
+        for stats in report.per_tenant:
+            assert stats.n_requests == 0
+            assert stats.p50_ms == 0.0
+            assert stats.p99_ms == 0.0
+            assert stats.mean_ms == 0.0
+            assert stats.goodput_rps == 0.0
+            assert stats.slo_attainment == 1.0  # vacuous
+            assert stats.rejection_rate == 1.0
+            assert stats.n_preemptions == 0
+            assert stats.preempted_wasted_ms == 0.0
+        rendered = format_serving(report)
+        assert "chat" in rendered and "bulk" in rendered
+
+    def test_tenant_with_zero_offered_traffic_is_still_sane(self, cluster):
+        # A declared tenant whose trace lane generated nothing at all.
+        config = TenancyConfig(
+            (Tenant("chat", "interactive"), Tenant("ghost", "batch")),
+            scheduler="weighted-fair",
+        )
+        engine = ServingEngine(cluster, tenancy=config)
+        trace = tuple(
+            dataclasses.replace(r, tenant="chat")
+            for r in fixed_trace("resnet18", [0.0, 10.0])
+        )
+        report = summarize(engine.run(trace), cluster, tenancy=config)
+        ghost = next(t for t in report.per_tenant if t.tenant == "ghost")
+        assert ghost.n_offered == 0 and ghost.n_requests == 0
+        assert ghost.rejection_rate == 0.0  # nothing offered, nothing shed
+        assert ghost.slo_attainment == 1.0
+        format_serving(report)  # must not raise
