@@ -92,6 +92,7 @@ from repro.serve import (
     SEQLEN_DISTS,
     THINK_DISTS,
     TRACE_KINDS,
+    StreamingMetrics,
     format_serving,
     parse_admission,
     parse_fleet,
@@ -178,6 +179,11 @@ def _serve(args: argparse.Namespace) -> str:
     n_chips = args.chips
     if n_chips is None and fleet is None:
         n_chips = 4
+    stream = None
+    if args.progress is not None:
+        if args.progress < 1:
+            raise SystemExit("--progress must be >= 1")
+        stream = StreamingMetrics(progress_every=args.progress)
     report, _ = simulate_serving(
         models,
         n_chips=n_chips,
@@ -212,6 +218,7 @@ def _serve(args: argparse.Namespace) -> str:
         tenants=tenants,
         scheduler=args.scheduler,
         preemption=args.preempt,
+        stream_metrics=stream,
     )
     if args.clients is not None:
         header = (
@@ -505,6 +512,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="let interactive arrivals preempt running lower-priority "
         "batches when waiting would miss their deadline (needs --tenants; "
         "incompatible with a power envelope)",
+    )
+    serve.add_argument(
+        "--progress",
+        type=int,
+        nargs="?",
+        const=100_000,
+        default=None,
+        metavar="N",
+        help="stream metrics instead of retaining every served request, "
+        "printing a rolling p99 to stderr every N served (default 100000); "
+        "makes million-request traces cheap on memory",
     )
     serve.add_argument(
         "--mode",

@@ -23,7 +23,7 @@ from __future__ import annotations
 import bisect
 import collections
 import dataclasses
-from typing import Deque, Dict, List, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.serve.traces import Request
 
@@ -181,18 +181,46 @@ class ModelQueue:
         self.buckets = tuple(buckets)
         self._pending: Dict[int, Deque[Request]] = collections.OrderedDict()
         self._size = 0
+        # Hot-path caches: the engine's dispatch scan reads the oldest
+        # arrival and the fullest-bucket size several times per event, so
+        # both are maintained incrementally instead of re-derived from the
+        # bucket deques on every read.  ``_oldest`` is None when stale
+        # (recomputed lazily); ``_longest`` is always exact.
+        self._oldest: Optional[float] = None
+        self._longest = 0
 
     def __len__(self) -> int:
         return self._size
 
-    def push(self, request: Request) -> None:
+    def push(self, request: Request) -> int:
+        """Enqueue one request; returns its bucket's new depth.
+
+        The returned depth lets the engine detect the only two pushes that
+        can change dispatchability — the queue waking from empty, or a
+        bucket reaching the batch-size cap — without re-scanning.
+        """
         if request.model != self.model:
             raise ValueError(
                 f"request for {request.model!r} pushed onto {self.model!r} queue"
             )
-        bucket = bucket_for(request.seq_len, self.buckets)
-        self._pending.setdefault(bucket, collections.deque()).append(request)
+        if request.seq_len == 0 or not self.buckets:
+            bucket = 0  # inlined bucket_for fast path (the per-arrival case)
+        else:
+            bucket = bucket_for(request.seq_len, self.buckets)
+        queue = self._pending.get(bucket)
+        if queue is None:
+            queue = collections.deque()
+            self._pending[bucket] = queue
+        queue.append(request)
         self._size += 1
+        depth = len(queue)
+        if depth > self._longest:
+            self._longest = depth
+        if self._oldest is not None and request.arrival_ns < self._oldest:
+            self._oldest = request.arrival_ns
+        elif self._size == 1:
+            self._oldest = request.arrival_ns
+        return depth
 
     def push_front(self, requests: "Tuple[Request, ...]") -> None:
         """Re-queue preempted requests at the *front* of their buckets.
@@ -210,10 +238,15 @@ class ModelQueue:
                     f"{self.model!r} queue"
                 )
             bucket = bucket_for(request.seq_len, self.buckets)
-            self._pending.setdefault(
-                bucket, collections.deque()
-            ).appendleft(request)
+            queue = self._pending.setdefault(bucket, collections.deque())
+            queue.appendleft(request)
             self._size += 1
+            if len(queue) > self._longest:
+                self._longest = len(queue)
+            if self._oldest is not None and request.arrival_ns < self._oldest:
+                self._oldest = request.arrival_ns
+            elif self._size == 1:
+                self._oldest = request.arrival_ns
 
     def _nonempty(self) -> List[Tuple[int, Deque[Request]]]:
         return [(b, q) for b, q in self._pending.items() if q]
@@ -222,15 +255,15 @@ class ModelQueue:
     def oldest_arrival_ns(self) -> float:
         if not self._size:
             raise IndexError("queue is empty")
-        return min(q[0].arrival_ns for _, q in self._nonempty())
+        if self._oldest is None:
+            self._oldest = min(q[0].arrival_ns for _, q in self._nonempty())
+        return self._oldest
 
     def ready(self, now_ns: float, policy: BatchingPolicy) -> bool:
         """Would a batch dispatch right now under this policy?"""
         if not self._size:
             return False
-        if any(
-            len(q) >= policy.max_batch_size for _, q in self._nonempty()
-        ):
+        if self._longest >= policy.max_batch_size:
             return True
         # Compare against the *same float expression* the engine schedules
         # its window event with, so the event firing at the deadline always
@@ -293,11 +326,28 @@ class ModelQueue:
         """Dequeue up to ``max_batch_size`` same-bucket requests."""
         if not self._size:
             raise IndexError("cannot pop a batch from an empty queue")
-        bucket = self._dispatch_bucket(now_ns, policy)
+        if not self.buckets:
+            bucket = 0  # single trivial bucket: nothing to rank
+        else:
+            bucket = self._dispatch_bucket(now_ns, policy)
         queue = self._pending[bucket]
-        take = min(len(queue), policy.max_batch_size)
-        requests = tuple(queue.popleft() for _ in range(take))
+        n = len(queue)
+        take = policy.max_batch_size
+        if n <= take:
+            take = n
+            requests = tuple(queue)
+            queue.clear()
+        else:
+            requests = tuple(queue.popleft() for _ in range(take))
         self._size -= take
+        if not self.buckets:
+            self._oldest = queue[0].arrival_ns if queue else None
+            self._longest = len(queue)
+        else:
+            self._oldest = None
+            self._longest = max(
+                (len(q) for q in self._pending.values()), default=0
+            )
         return Batch(
             model=self.model,
             requests=requests,

@@ -298,6 +298,61 @@ class ChipService:
     energy_pj: float
 
 
+class ServiceCostTable:
+    """Flat memoized cost rows for one model (the dispatch hot path's view).
+
+    The engine prices the same (chip, batch size, bucket) combination
+    millions of times per run; :meth:`Cluster.service` answers each probe
+    through a tuple-of-(ChipKey, str, int, int) dict key.  This table
+    flattens that to a small-int row key plus a list index: one row per
+    (distinct cost key, sequence length), indexed by batch size.  Misses
+    delegate to :meth:`Cluster.service`, so every entry is the exact
+    :class:`ChipService` object the slow path returns — same floats, same
+    cache, just a cheaper probe.
+
+    ``uniform`` is True when every hosting chip shares one cost key — the
+    homogeneous case where cost-aware routing provably degenerates to the
+    lowest free chip id and per-chip pricing can be skipped entirely.
+    """
+
+    def __init__(self, cluster: "Cluster", model: str) -> None:
+        self._cluster = cluster
+        self._model = model
+        distinct: Dict[ChipKey, int] = {}
+        self._key_of = tuple(
+            distinct.setdefault(key, len(distinct))
+            for key in cluster._chip_keys
+        )
+        self.uniform = (
+            len({self._key_of[c] for c in cluster.chips_for(model)}) == 1
+        )
+        self._rows: Dict[Tuple[int, int], List[Optional[ChipService]]] = {}
+
+    def get(
+        self, chip_id: int, batch_size: int, seq_len: int = 0
+    ) -> ChipService:
+        row = self._rows.get((self._key_of[chip_id], seq_len))
+        if row is not None and batch_size < len(row):
+            cost = row[batch_size]
+            if cost is not None:
+                return cost
+        return self._fill(chip_id, batch_size, seq_len)
+
+    def _fill(
+        self, chip_id: int, batch_size: int, seq_len: int
+    ) -> ChipService:
+        cost = self._cluster.service(chip_id, self._model, batch_size, seq_len)
+        key = (self._key_of[chip_id], seq_len)
+        row = self._rows.get(key)
+        if row is None:
+            row = []
+            self._rows[key] = row
+        if batch_size >= len(row):
+            row.extend([None] * (batch_size + 1 - len(row)))
+        row[batch_size] = cost
+        return cost
+
+
 class Cluster:
     """A fleet of accelerator chips plus the placement over them.
 
@@ -378,6 +433,7 @@ class Cluster:
             Tuple[ChipKey, str, int, int], ChipService
         ] = {}
         self._stream_cache: Dict[Tuple[ChipKey, str, int], object] = {}
+        self._service_tables: Dict[str, ServiceCostTable] = {}
         # Workloads re-derived per sequence length, shared across chips —
         # a bucketed LLM run costs one derivation per (model, bucket), not
         # one per batch.
@@ -502,6 +558,20 @@ class Cluster:
             cached = self._cost(chip_id, model, batch_size, seq_len)
             self._service_cache[key] = cached
         return cached
+
+    def service_table(self, model: str) -> ServiceCostTable:
+        """Flat memoized view of :meth:`service` for one model.
+
+        Cached per model, shared across runs on this cluster — the table
+        only ever holds objects the shared ``service`` cache returned.
+        """
+        table = self._service_tables.get(model)
+        if table is None:
+            if model not in self._workloads:
+                raise ValueError(f"cluster does not host model {model!r}")
+            table = ServiceCostTable(self, model)
+            self._service_tables[model] = table
+        return table
 
     def reference_latency_ns(self, model: str, seq_len: int = 0) -> float:
         """Batch-1 service latency — the no-queueing, no-batching floor.

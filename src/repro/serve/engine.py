@@ -38,9 +38,21 @@ engine (golden-guarded by ``tests/test_tenancy_differential.py``).
 from __future__ import annotations
 
 import dataclasses
+import functools
 import heapq
 import math
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.serve.admission import AdmissionPolicy, parse_admission
 from repro.serve.batching import Batch, BatchingPolicy, ModelQueue
@@ -55,6 +67,9 @@ from repro.serve.tenancy import (
     make_scheduler,
 )
 from repro.serve.traces import Request
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.serve.streaming import StreamingMetrics
 
 #: Event kinds, in same-timestamp processing order: completions free chips
 #: before new arrivals queue, which beat stale window timers.
@@ -151,6 +166,25 @@ class _InFlight:
 
 
 @dataclasses.dataclass(frozen=True)
+class EngineStats:
+    """Hot-path instrumentation of one :meth:`ServingEngine.run`.
+
+    Deterministic work counters (no wall clock anywhere), exposed on
+    :attr:`ServingEngine.last_stats` for the scaling guard-rail tests:
+    ``n_slot_scans`` is the total number of (tenant, model) slot
+    examinations the dispatch scan performed — the quantity that used to
+    grow as events x slots and must now grow linearly with the event
+    count.  The counters live outside :class:`ServingResult` so result
+    equality and the golden digests are untouched.
+    """
+
+    n_events: int  # heap/cursor events processed (arrivals incl.)
+    n_dispatch_rounds: int  # dispatch invocations that examined >= 1 slot
+    n_slot_scans: int  # slot examinations across all dispatch rounds
+    n_batches: int
+
+
+@dataclasses.dataclass(frozen=True)
 class ServingResult:
     """Everything one simulation run produced.
 
@@ -178,9 +212,17 @@ class ServingResult:
     scheduler: Optional[str] = None  # dispatch scheduler; None = no tenancy
     tenants: Tuple[str, ...] = ()  # declared tenant names, config order
     preempted: Tuple[PreemptionRecord, ...] = ()
+    #: Streaming-mode accumulator (``served`` is then empty): the run's
+    #: roll-ups live on compact per-(model, tenant, chip-type) buffers
+    #: instead of per-request objects.  ``None`` on the retained path.
+    stream: Optional["StreamingMetrics"] = dataclasses.field(
+        default=None, compare=False
+    )
 
     @property
     def n_requests(self) -> int:
+        if self.stream is not None:
+            return self.stream.n_served
         return len(self.served)
 
     @property
@@ -191,7 +233,7 @@ class ServingResult:
     @property
     def n_offered(self) -> int:
         """Distinct requests that reached the front door (served + dropped)."""
-        return len(self.served) + len(self.rejected)
+        return self.n_requests + len(self.rejected)
 
     @property
     def rejection_rate(self) -> float:
@@ -215,23 +257,31 @@ class ServingResult:
         """Closed-loop session count (0 = open-loop trace)."""
         return self.clients.n_clients if self.clients is not None else 0
 
-    @property
+    @functools.cached_property
     def total_energy_pj(self) -> float:
+        if self.stream is not None:
+            return self.stream.total_energy_pj
         return sum(s.energy_pj for s in self.served)
 
     @property
     def has_seqlens(self) -> bool:
         """Did any request carry an explicit per-request sequence length?"""
+        if self.stream is not None:
+            return self.stream.total_tokens > 0
         return any(s.seq_len > 0 for s in self.served)
 
-    @property
+    @functools.cached_property
     def total_tokens(self) -> int:
         """Real tokens served (0 for native-shape traffic)."""
+        if self.stream is not None:
+            return self.stream.total_tokens
         return sum(s.seq_len for s in self.served)
 
-    @property
+    @functools.cached_property
     def total_padded_tokens(self) -> int:
         """Tokens the chips processed, padding included."""
+        if self.stream is not None:
+            return self.stream.total_padded_tokens
         return sum(s.padded_seq_len for s in self.served)
 
     @property
@@ -258,13 +308,16 @@ class ServingResult:
     def for_model(self, model: str) -> Tuple[ServedRequest, ...]:
         return tuple(s for s in self.served if s.request.model == model)
 
-    @property
+    @functools.cached_property
     def models(self) -> Tuple[str, ...]:
-        seen: List[str] = []
-        for s in self.served:
-            if s.request.model not in seen:
-                seen.append(s.request.model)
-        return tuple(seen)
+        """Served models, in order of first (arrival-sorted) appearance.
+
+        An order-preserving dict replaces the old ``not in seen`` list
+        scan, which was quadratic in the number of distinct models.
+        """
+        if self.stream is not None:
+            return self.stream.models
+        return tuple(dict.fromkeys(s.request.model for s in self.served))
 
     @property
     def n_preemptions(self) -> int:
@@ -346,6 +399,9 @@ class ServingEngine:
         self._power = power
         self._admission = admission
         self._tenancy = tenancy
+        #: Instrumentation of the most recent :meth:`run` (scaling
+        #: guard-rails); ``None`` until a run completes.
+        self.last_stats: Optional[EngineStats] = None
 
     @property
     def cluster(self) -> Cluster:
@@ -375,14 +431,26 @@ class ServingEngine:
         self,
         trace: Sequence[Request] = (),
         clients: Optional[ClientPopulation] = None,
+        stream: Optional["StreamingMetrics"] = None,
     ) -> ServingResult:
         """Simulate the whole trace to completion (closed horizon).
 
         Pass either an open-loop ``trace`` *or* a closed-loop ``clients``
         population (whose sessions then generate arrivals in response to
         completions), never both.
+
+        ``stream`` switches on streaming accounting: completions land on
+        the :class:`repro.serve.streaming.StreamingMetrics` accumulator
+        instead of materializing one :class:`ServedRequest` per request,
+        so a million-request run holds megabytes instead of gigabytes.
+        The simulation itself — every dispatch, every float — is
+        identical; only the result representation changes.
         """
         cluster, policy = self._cluster, self._policy
+        # Materialize exactly once.  The old code iterated ``trace`` twice
+        # (validation, then heap fill): a generator trace validated fine
+        # and then silently simulated zero requests.
+        trace = tuple(trace)
         if clients is not None and len(trace):
             raise ValueError(
                 "pass an open-loop trace or a closed-loop client "
@@ -407,7 +475,7 @@ class ServingEngine:
                 clients,
                 {m: cluster.native_seq_len(m) for m in clients.models},
             )
-            trace = driver.start()
+            trace = tuple(driver.start())
         admission = self._admission
         if admission is not None:
             admission.reset(cluster, policy)
@@ -427,6 +495,9 @@ class ServingEngine:
         )
         known = set(cluster.models)
         known_tenants = set(tenancy.names) if tenancy is not None else {""}
+        time_sorted = True
+        has_seqlens = False
+        prev_arrival = -math.inf
         for request in trace:
             if request.model not in known:
                 raise ValueError(
@@ -437,6 +508,36 @@ class ServingEngine:
                     f"trace request tagged {request.tenant!r} but the "
                     f"tenancy config declares {tenancy.names}"
                 )
+            if request.seq_len:
+                has_seqlens = True
+            if request.arrival_ns < prev_arrival:
+                time_sorted = False
+            else:
+                prev_arrival = request.arrival_ns
+        if not time_sorted:
+            # The merged arrival cursor needs time order.  A *stable* sort
+            # by arrival reproduces the old heap's (arrival, push-order)
+            # ordering exactly, so out-of-order traces replay bit-for-bit.
+            trace = tuple(sorted(trace, key=lambda r: r.arrival_ns))
+        if (
+            driver is None
+            and tenancy is None
+            and admission is None
+            and governor is None
+            and len(cluster.models) == 1
+            and not policy.seqlen_buckets
+            and not has_seqlens
+            and self._routing != "round-robin"
+            and cluster.service_table(cluster.models[0]).uniform
+            and not getattr(self, "_force_general", False)
+        ):
+            # Single plain slot on a uniform host set: the queue is a
+            # sliding window over the time-sorted trace and every
+            # cost-aware routing policy ties down to the lowest free chip
+            # id, so the whole event loop specializes to a per-batch walk
+            # (see _run_turbo).  Bit-identical to the general path —
+            # golden-guarded through the homogeneous differential cases.
+            return self._run_turbo(trace, stream, clients)
         # One queue per (tenant, model) slot.  Without tenancy there is a
         # single anonymous tenant "", so the slot list — and the dispatch
         # scan order below — collapses to the legacy per-model layout.
@@ -448,13 +549,30 @@ class ServingEngine:
         queues: Dict[Tuple[str, str], ModelQueue] = {
             (t, m): ModelQueue(m, policy.seqlen_buckets) for t, m in slots
         }
-        # slot -> deadline of its one pending window timer.  Arming at
-        # most one timer per queue per deadline matters once the scan
+        slot_index: Dict[Tuple[str, str], int] = {
+            slot: i for i, slot in enumerate(slots)
+        }
+        queue_list: List[ModelQueue] = [queues[slot] for slot in slots]
+        tenant_list: List[str] = [slot[0] for slot in slots]
+        model_list: List[str] = [slot[1] for slot in slots]
+        # Arrival lookup: (tenant,) model -> (queue, slot index).  Keyed by
+        # the model alone when tenancy is off, so the per-arrival hot path
+        # never builds a key tuple.
+        if tenancy is not None:
+            slot_of: Dict = {
+                slot: (queues[slot], i) for i, slot in enumerate(slots)
+            }
+        else:
+            slot_of = {
+                m: (queues[("", m)], slot_index[("", m)]) for m in model_order
+            }
+        # slot index -> deadline of its one pending window timer.  Arming
+        # at most one timer per queue per deadline matters once the scan
         # covers several queues: unguarded, every timer firing re-arms
         # every other not-ready queue, and the timer population grows
         # geometrically with the slot count (heap blowup at steady
         # sub-capacity load, where queues sit non-empty-but-unready).
-        window_armed: Dict[Tuple[str, str], float] = {}
+        window_armed: Dict[int, float] = {}
         scheduler = (
             make_scheduler(tenancy.scheduler)
             if tenancy is not None
@@ -472,7 +590,55 @@ class ServingEngine:
         backlog: Dict[str, int] = {t: 0 for t in tenant_order}
         chip_free = [0.0] * cluster.n_chips
         chip_busy = [0.0] * cluster.n_chips
-        # chip -> its currently running batch (preemption victim lookup).
+        # -- free-chip index ------------------------------------------------
+        # ``chip_free`` (finish-time floats) stays the ground truth, but
+        # the dispatch scan reads freedom through an O(1) index: a per-chip
+        # boolean, a per-model free-host count, and a heap of (finish,
+        # chip) entries drained at every event pop.  A chip is observably
+        # free at its exact finish instant — even while an earlier
+        # same-timestamp completion is being processed — exactly as the
+        # old per-slot ``chip_free[c] <= now`` filter saw it.
+        hosts: Dict[str, Tuple[int, ...]] = {
+            m: cluster.chips_for(m) for m in model_order
+        }
+        chip_models: Tuple[Tuple[str, ...], ...] = tuple(
+            cluster.plan.chips[c].models for c in range(cluster.n_chips)
+        )
+        slots_by_chip: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(
+                sorted(
+                    slot_index[(t, m)]
+                    for m in chip_models[c]
+                    for t in tenant_order
+                )
+            )
+            for c in range(cluster.n_chips)
+        )
+        is_free = [True] * cluster.n_chips
+        free_count: Dict[str, int] = {m: len(hosts[m]) for m in model_order}
+        free_heap: List[Tuple[float, int]] = []
+        # Slots an event may have made dispatchable.  The post-dispatch
+        # invariant — no slot is simultaneously non-empty, ready, and
+        # free-hosted once dispatch() returns — means only event-touched
+        # slots can become eligible, so the scan visits exactly these
+        # instead of every slot on every event.
+        dirty: Set[int] = set()
+        # Flat memoized cost rows (list-indexed by batch size) replace the
+        # tuple-keyed dict probe of cluster.service on the dispatch path;
+        # ``uniform`` models short-circuit cost-aware routing entirely.
+        tables = {m: cluster.service_table(m) for m in model_order}
+        routing = self._routing
+        fast_route: Dict[str, bool] = {
+            # On a single-cost-key (homogeneous) host set the cost-aware
+            # policies tie on every chip and their documented tiebreak is
+            # the lowest free chip id — free lists are built in ascending
+            # id order, so that is free[0], no per-chip pricing needed.
+            m: routing != "round-robin" and tables[m].uniform
+            for m in model_order
+        }
+        track_queued = admission is not None
+        model_queued: Dict[str, int] = {m: 0 for m in model_order}
+        total_queued = 0
         running: Dict[int, _InFlight] = {}
         cancelled: set = set()  # tombstoned _InFlight keys
         served: List[ServedRequest] = []
@@ -481,16 +647,34 @@ class ServingEngine:
         n_rejections = 0
         n_batches = 0
         makespan = 0.0
+        n_events = 0
+        n_dispatch_rounds = 0
+        n_slot_scans = 0
+        if stream is not None:
+            stream._begin_run(cluster, policy)
 
         events: List[tuple] = []
-        seq = 0
-        for request in trace:
-            heapq.heappush(events, (request.arrival_ns, _ARRIVAL, seq, request))
-            seq += 1
+        # The merged arrival cursor: open-loop arrivals stay in the
+        # time-sorted trace tuple and are merged into the event order on
+        # the fly, instead of materializing N heap tuples up front.
+        # Dynamic arrivals (retries, closed-loop follow-ups) still go
+        # through the heap with sequence numbers >= len(trace), so every
+        # same-timestamp tie breaks exactly as the old all-heap order did.
+        trace_n = len(trace)
+        max_batch = policy.max_batch_size
+        cursor = 0
+        seq = trace_n
         # Round-robin rotation state: next host index per model (shared
         # across tenants — rotation is a chip-placement concern, not a
         # fairness one; the scheduler owns fairness).
         rr_next: Dict[str, int] = {m: 0 for m in cluster.models}
+
+        def mark_free(chip: int) -> None:
+            """Index a chip as free and dirty every slot it could serve."""
+            is_free[chip] = True
+            for m in chip_models[chip]:
+                free_count[m] += 1
+            dirty.update(slots_by_chip[chip])
 
         def pick_chip(
             slot: Tuple[str, str], free: List[int], now: float
@@ -503,35 +687,36 @@ class ServingEngine:
             chip id for determinism.
             """
             model = slot[1]
-            if self._routing == "round-robin":
-                hosts = cluster.chips_for(model)
+            if routing == "round-robin":
+                model_hosts = hosts[model]
                 start = rr_next[model]
                 free_set = set(free)
-                for offset in range(len(hosts)):
-                    chip = hosts[(start + offset) % len(hosts)]
+                for offset in range(len(model_hosts)):
+                    chip = model_hosts[(start + offset) % len(model_hosts)]
                     if chip in free_set:
-                        rr_next[model] = (start + offset + 1) % len(hosts)
+                        rr_next[model] = (start + offset + 1) % len(model_hosts)
                         return chip
                 raise RuntimeError("no free chip among hosts")  # unreachable
+            table = tables[model]
             _, size, padded = queues[slot].peek_batch(now, policy)
             if throttler is not None:
                 # Throttle-aware pricing: a hot group's batches cost the
                 # *stretched* latency, so `fastest` steers around heat and
                 # `cheapest-energy` breaks energy ties toward the cooler
                 # group.
-                if self._routing == "fastest":
+                if routing == "fastest":
                     return min(
                         free,
                         key=lambda c: (
                             throttler.priced_latency(
-                                c, cluster.service(c, model, size, padded)
+                                c, table.get(c, size, padded)
                             ),
                             c,
                         ),
                     )
 
                 def energy_key(c: int) -> tuple:
-                    service = cluster.service(c, model, size, padded)
+                    service = table.get(c, size, padded)
                     return (
                         service.energy_pj,
                         throttler.priced_latency(c, service),
@@ -539,20 +724,14 @@ class ServingEngine:
                     )
 
                 return min(free, key=energy_key)
-            if self._routing == "fastest":
+            if routing == "fastest":
                 return min(
                     free,
-                    key=lambda c: (
-                        cluster.service(c, model, size, padded).latency_ns,
-                        c,
-                    ),
+                    key=lambda c: (table.get(c, size, padded).latency_ns, c),
                 )
             return min(
                 free,
-                key=lambda c: (
-                    cluster.service(c, model, size, padded).energy_pj,
-                    c,
-                ),
+                key=lambda c: (table.get(c, size, padded).energy_pj, c),
             )
 
         def commit_batch(
@@ -571,14 +750,17 @@ class ServingEngine:
             re-dispatch cost paid when ``chip`` was freed by a preemption
             an instant ago.
             """
-            nonlocal seq, n_batches
+            nonlocal seq, n_batches, total_queued
             tenant, model = slot
             if tenancy is not None:
                 backlog[tenant] -= batch.size
+            if track_queued:
+                model_queued[model] -= batch.size
+                total_queued -= batch.size
             # The whole batch runs padded to its bucket boundary (or to
             # its longest request without bucketing); 0 = native shape.
             padded = batch.padded_seq_len
-            cost = cluster.service(chip, model, batch.size, padded)
+            cost = tables[model].get(chip, batch.size, padded)
             if governor is not None:
                 service_ns = governor.admit(chip, now, cost)
             else:
@@ -590,7 +772,12 @@ class ServingEngine:
             else:
                 finish = now + service_ns
                 busy_ns = service_ns
+            if is_free[chip]:
+                is_free[chip] = False
+                for m in chip_models[chip]:
+                    free_count[m] -= 1
             chip_free[chip] = finish
+            heapq.heappush(free_heap, (finish, chip))
             inflight = _InFlight(
                 key=seq,
                 batch=batch,
@@ -611,49 +798,82 @@ class ServingEngine:
             n_batches += 1
 
         def dispatch(now: float) -> None:
-            nonlocal seq
+            """Scan the dirty slots (ascending index) and dispatch winners.
+
+            Behaviorally identical to the old every-slot scan: only slots
+            the current event could have changed are examined, visited in
+            slot-index order so window timers arm — and allocate their
+            sequence numbers — in exactly the order the full scan armed
+            them.  The set clears once no dirty slot is eligible; every
+            later eligibility change re-dirties its slot (arrival filling
+            a bucket, queue waking from empty, window expiry, chip
+            freeing, preemption requeue).
+            """
+            nonlocal seq, n_dispatch_rounds, n_slot_scans
+            n_dispatch_rounds += 1
             while True:
                 # The scheduler ranks every ready (tenant, model) queue;
                 # under fifo the key collapses to (oldest arrival, slot
                 # index) — FCFS across queues, the legacy rule, so no
                 # queue can starve another by list position.
                 best = None
-                for index, slot in enumerate(slots):
-                    queue = queues[slot]
-                    if not len(queue):
+                n_slot_scans += len(dirty)
+                for index in sorted(dirty):
+                    queue = queue_list[index]
+                    if not queue._size:
                         continue
-                    free = [
-                        c
-                        for c in cluster.chips_for(slot[1])
-                        if chip_free[c] <= now
-                    ]
-                    if not free:
-                        continue  # all hosts busy; a completion event is pending
+                    if not free_count[model_list[index]]:
+                        continue  # all hosts busy; a completion is pending
                     if not queue.ready(now, policy):
                         deadline = queue.window_deadline_ns(policy)
-                        if window_armed.get(slot) != deadline:
+                        if window_armed.get(index) != deadline:
                             heapq.heappush(
-                                events, (deadline, _WINDOW, seq, slot)
+                                events, (deadline, _WINDOW, seq, index)
                             )
                             seq += 1
-                            window_armed[slot] = deadline
+                            window_armed[index] = deadline
                         continue
                     key = scheduler.key(
-                        slot[0], queue.oldest_arrival_ns, index
+                        tenant_list[index], queue.oldest_arrival_ns, index
                     )
                     if best is None or key < best[0]:
-                        best = (key, slot, free)
+                        best = (key, index)
                 if best is None:
+                    dirty.clear()
                     return
-                _, slot, free = best
-                chip = pick_chip(slot, free, now)
-                batch = queues[slot].pop_batch(now, policy)
-                commit_batch(slot, batch, chip, now)
+                index = best[1]
+                model = model_list[index]
+                free = [c for c in hosts[model] if is_free[c]]
+                if fast_route[model]:
+                    # Ascending-id free list: free[0] is the lowest free
+                    # chip id, the cost-aware tiebreak on a uniform host
+                    # set.
+                    chip = free[0]
+                else:
+                    chip = pick_chip(slots[index], free, now)
+                batch = queue_list[index].pop_batch(now, policy)
+                commit_batch(slots[index], batch, chip, now)
 
         def enqueue(request: Request, now: float) -> None:
             """Admitted arrival enters its (tenant, model) queue."""
-            tenant = request.tenant if tenancy is not None else ""
-            queues[(tenant, request.model)].push(request)
+            nonlocal total_queued
+            if tenancy is not None:
+                tenant = request.tenant
+                queue, index = slot_of[(tenant, request.model)]
+            else:
+                queue, index = slot_of[request.model]
+            was_empty = not queue._size
+            depth = queue.push(request)
+            if track_queued:
+                model_queued[request.model] += 1
+                total_queued += 1
+            # Only two pushes can change dispatchability: waking an empty
+            # queue (new window deadline to arm, instantly ready when the
+            # window is 0) or filling a bucket to the batch-size cap.  Any
+            # other push leaves readiness, the window deadline and the
+            # free-host picture untouched — no scan needed.
+            if was_empty or depth >= policy.max_batch_size:
+                dirty.add(index)
             if tenancy is not None:
                 backlog[tenant] += 1
                 if backlog[tenant] == 1:
@@ -675,6 +895,7 @@ class ServingEngine:
             scheduler scan (which would otherwise hand the chip straight
             back to the older requeued victim).
             """
+            nonlocal total_queued
             tenant = tenancy.tenant(request.tenant)
             if not tenant.slo.preempts:
                 return
@@ -682,20 +903,20 @@ class ServingEngine:
             limit = deadlines[(request.tenant, model)]
             if math.isinf(limit):
                 return
-            hosts = cluster.chips_for(model)
-            if any(chip_free[c] <= now for c in hosts):
+            model_hosts = hosts[model]
+            if any(chip_free[c] <= now for c in model_hosts):
                 return  # a free host exists; the normal dispatch handles it
             deadline_at = request.arrival_ns + limit
             ref = cluster.reference_latency_ns(model)
             overhead = tenancy.preemption_overhead_ns
-            if min(chip_free[c] for c in hosts) + ref <= deadline_at:
+            if min(chip_free[c] for c in model_hosts) + ref <= deadline_at:
                 return  # waiting for the earliest chip still makes it
             if now + overhead + ref > deadline_at:
                 return  # already dead on arrival; preempting wastes work
             mine = priority_of[request.tenant]
             victims = [
                 (c, running[c])
-                for c in hosts
+                for c in model_hosts
                 if c in running
                 and priority_of.get(running[c].batch.tenant, mine) > mine
             ]
@@ -710,6 +931,12 @@ class ServingEngine:
             chip_busy[chip] += wasted
             victim_slot = (victim.batch.tenant, victim.batch.model)
             queues[victim_slot].push_front(victim.batch.requests)
+            # The requeue moved the victim queue's oldest arrival back, so
+            # its window deadline must re-arm on the next scan.
+            dirty.add(slot_index[victim_slot])
+            if track_queued:
+                model_queued[victim.batch.model] += victim.batch.size
+                total_queued += victim.batch.size
             if backlog[victim.batch.tenant] == 0:
                 scheduler.on_activate(victim.batch.tenant)
             backlog[victim.batch.tenant] += victim.batch.size
@@ -725,6 +952,10 @@ class ServingEngine:
                 )
             )
             chip_free[chip] = now
+            # Rebalance the free index across the free-then-recommit pair
+            # (the immediate commit below marks it busy again); the dirty
+            # marks this leaves behind cover the preemptor's popped queue.
+            mark_free(chip)
             slot = (request.tenant, model)
             batch = queues[slot].pop_batch(now, policy)
             commit_batch(slot, batch, chip, now, overhead_ns=overhead)
@@ -734,22 +965,59 @@ class ServingEngine:
             heapq.heappush(events, (request.arrival_ns, _ARRIVAL, seq, request))
             seq += 1
 
-        while events:
-            now, kind, _, payload = heapq.heappop(events)
+        while True:
+            # Merge the next trace arrival with the event heap without
+            # materializing arrival tuples: the cursor wins a timestamp
+            # tie against everything but a completion (kind 0), which is
+            # exactly the old (time, kind, seq) heap order given cursor
+            # sequence numbers precede every dynamic event's.
+            if cursor < trace_n:
+                request = trace[cursor]
+                arrival = request.arrival_ns
+                if events:
+                    head = events[0]
+                    if head[0] < arrival or (
+                        head[0] == arrival and head[1] == _COMPLETION
+                    ):
+                        now, kind, _, payload = heapq.heappop(events)
+                    else:
+                        now, kind, payload = arrival, _ARRIVAL, request
+                        cursor += 1
+                else:
+                    now, kind, payload = arrival, _ARRIVAL, request
+                    cursor += 1
+            elif events:
+                now, kind, _, payload = heapq.heappop(events)
+            else:
+                break
+            n_events += 1
+            if free_heap and free_heap[0][0] <= now:
+                # Drain chips whose batches have finished by now into the
+                # free index (stale entries — preempted-then-recommitted
+                # chips — are skipped by the ground-truth time check).
+                while free_heap and free_heap[0][0] <= now:
+                    chip = heapq.heappop(free_heap)[1]
+                    if not is_free[chip] and chip_free[chip] <= now:
+                        mark_free(chip)
             if governor is not None:
                 # Power is piecewise constant between events, so advancing
                 # the governor exactly here makes the integration exact.
                 governor.advance(now)
             if kind == _ARRIVAL:
                 request = payload
-                if admission is None or admission.admit(
+                if admission is None and tenancy is None:
+                    # Inlined enqueue fast path for the open/plain case:
+                    # no admission counters, no tenant backlog — just the
+                    # push and the two dispatchability triggers.
+                    queue, index = slot_of[request.model]
+                    was_empty = not queue._size
+                    if queue.push(request) >= max_batch or was_empty:
+                        dirty.add(index)
+                elif admission is None or admission.admit(
                     request,
                     now,
-                    sum(
-                        len(queues[(t, request.model)])
-                        for t in tenant_order
-                    ),
-                    sum(len(q) for q in queues.values()),
+                    model_queued[request.model],
+                    total_queued,
                 ):
                     enqueue(request, now)
                 else:
@@ -776,12 +1044,6 @@ class ServingEngine:
                             )
                             if outcome.next_request is not None:
                                 push_arrival(outcome.next_request)
-            elif kind == _WINDOW:
-                # The timer is spent; clear its armed marker (unless the
-                # queue re-armed at a later deadline meanwhile) so the
-                # dispatch scan below can arm the next one.
-                if window_armed.get(payload) == now:
-                    del window_armed[payload]
             elif kind == _COMPLETION:
                 inflight = payload
                 if inflight.key in cancelled:
@@ -797,23 +1059,27 @@ class ServingEngine:
                 # order, and `served` is re-sorted below) is
                 # value-identical to the legacy dispatch-time bookkeeping.
                 chip_busy[inflight.chip_id] += inflight.busy_ns
-                makespan = max(makespan, inflight.finish_ns)
+                if inflight.finish_ns > makespan:
+                    makespan = inflight.finish_ns
                 batch = inflight.batch
-                for request in batch.requests:
-                    served.append(
-                        ServedRequest(
-                            request=request,
-                            chip_id=inflight.chip_id,
-                            batch_size=batch.size,
-                            dispatch_ns=inflight.dispatch_ns,
-                            finish_ns=inflight.finish_ns,
-                            energy_pj=inflight.share_pj,
-                            seq_len=request.seq_len,
-                            padded_seq_len=(
-                                inflight.padded if request.seq_len else 0
-                            ),
+                if stream is not None:
+                    stream._observe(inflight)
+                else:
+                    for request in batch.requests:
+                        served.append(
+                            ServedRequest(
+                                request=request,
+                                chip_id=inflight.chip_id,
+                                batch_size=batch.size,
+                                dispatch_ns=inflight.dispatch_ns,
+                                finish_ns=inflight.finish_ns,
+                                energy_pj=inflight.share_pj,
+                                seq_len=request.seq_len,
+                                padded_seq_len=(
+                                    inflight.padded if request.seq_len else 0
+                                ),
+                            )
                         )
-                    )
                 if driver is not None:
                     # The feedback edge: each finished request unblocks
                     # its session, which thinks and then issues the next
@@ -822,8 +1088,26 @@ class ServingEngine:
                         follow = driver.on_complete(request, now)
                         if follow is not None:
                             push_arrival(follow)
-            dispatch(now)
+            else:  # _WINDOW
+                # The timer is spent; clear its armed marker so the
+                # dispatch scan below can arm the next one.  A stale
+                # timer (marker moved: the queue emptied and re-armed at
+                # a different deadline, whose own event is still in the
+                # heap) changes no queue or chip state, so the scan it
+                # used to trigger was a no-op by the dispatch invariant —
+                # skip it.
+                if window_armed.get(payload) == now:
+                    del window_armed[payload]
+                    dirty.add(payload)
+            if dirty:
+                dispatch(now)
 
+        self.last_stats = EngineStats(
+            n_events=n_events,
+            n_dispatch_rounds=n_dispatch_rounds,
+            n_slot_scans=n_slot_scans,
+            n_batches=n_batches,
+        )
         leftover = sum(len(q) for q in queues.values())
         if leftover:
             raise RuntimeError(f"{leftover} requests never dispatched")
@@ -844,4 +1128,226 @@ class ServingEngine:
             scheduler=tenancy.scheduler if tenancy is not None else None,
             tenants=tenancy.names if tenancy is not None else (),
             preempted=tuple(preempted),
+            stream=stream,
+        )
+
+    def _run_turbo(
+        self,
+        trace: Tuple[Request, ...],
+        stream: Optional["StreamingMetrics"],
+        clients: Optional[ClientPopulation],
+    ) -> ServingResult:
+        """Single-slot fast path: one model, uniform hosts, plain serving.
+
+        Under the gate in :meth:`run` (no tenancy / admission / power /
+        closed loop, one model, a single cost key across its hosts, no
+        sequence lengths) the general event loop collapses:
+
+        * the one FIFO queue is a sliding ``[head, i)`` window over the
+          time-sorted trace — no per-request queue objects at all;
+        * every cost-aware routing policy ties down to the lowest free
+          chip id, so the free set is a small id-heap;
+        * only three event kinds exist (arrival, completion, window
+          timer) and non-triggering arrivals — those that neither wake an
+          empty queue nor fill a bucket to the batch cap — advance a
+          cursor without entering the dispatch logic.
+
+        The walk visits each *batch* a constant number of times instead
+        of each request, replaying the general path's event order bit for
+        bit: completions beat arrivals beat window timers on time ties
+        (the (time, kind, seq) heap order), the drain frees every chip
+        finishing at the processed instant before dispatch runs, and the
+        window-marker dedup rule is identical.  Every float is computed
+        with the same expression the general path uses.
+        """
+        cluster, policy = self._cluster, self._policy
+        model = cluster.models[0]
+        if stream is not None:
+            stream._begin_run(cluster, policy)
+        n = len(trace)
+        arr = [r.arrival_ns for r in trace]
+        B = policy.max_batch_size
+        W = policy.window_ns
+        table = cluster.service_table(model)
+        chips = cluster.chips_for(model)
+        free = list(chips)
+        heapq.heapify(free)
+        busy: List[Tuple[float, int, int, int]] = []  # (finish, seq, chip, rec)
+        costs: Dict[int, object] = {}  # batch size -> ChipService
+        # One record per committed batch, in commit order == trace order:
+        # (start, end, chip, dispatch_ns, finish_ns, share_pj, service_ns)
+        recs: List[Tuple[int, int, int, float, float, float, float]] = []
+        completion_order: List[int] = []
+        chip_busy = [0.0] * cluster.n_chips
+        makespan = 0.0
+        i = 0  # next trace arrival
+        head = 0  # queue head: queued requests are trace[head:i]
+        armed: Optional[float] = None  # pending window-timer deadline
+        cseq = 0
+        n_events = 0
+        n_rounds = 0
+        n_scans = 0
+        n_batches = 0
+        inf = math.inf
+        arr_np = np.array(arr, dtype=np.float64) if stream is not None else None
+        chip_type = (
+            tuple(cluster.chip_type(c) for c in range(cluster.n_chips))
+            if stream is not None
+            else ()
+        )
+        first_key: Optional[Tuple[float, int]] = None
+
+        def pump(now: float) -> None:
+            """The dispatch scan, specialized to the single slot."""
+            nonlocal head, armed, cseq, n_rounds, n_scans, n_batches
+            n_rounds += 1
+            while True:
+                n_scans += 1
+                depth = i - head
+                if not depth or not free:
+                    return
+                if depth < B:
+                    oldest = arr[head]
+                    if now < oldest + W:
+                        # Same float expression as window_deadline_ns, and
+                        # the same marker-dedup rule as the general path.
+                        deadline = oldest + W
+                        if armed != deadline:
+                            armed = deadline
+                        return
+                    take = depth
+                else:
+                    take = B
+                chip = heapq.heappop(free)
+                cost = costs.get(take)
+                if cost is None:
+                    cost = costs[take] = table.get(chip, take, 0)
+                service = cost.latency_ns
+                finish = now + service
+                heapq.heappush(busy, (finish, cseq, chip, len(recs)))
+                recs.append(
+                    (
+                        head,
+                        head + take,
+                        chip,
+                        now,
+                        finish,
+                        cost.energy_pj / take,
+                        service,
+                    )
+                )
+                cseq += 1
+                n_batches += 1
+                head += take
+
+        while i < n or busy or head < i:
+            t_c = busy[0][0] if busy else inf
+            t_a = arr[i] if i < n else inf
+            t_w = armed if armed is not None else inf
+            if t_c <= t_a and t_c <= t_w:
+                now = t_c
+                # Drain every completion at this instant: chips become
+                # observably free together (the general path's free-index
+                # drain), accounting lands in (finish, seq) order, and one
+                # dispatch follows — the general loop's later same-instant
+                # completion events find nothing dirty.
+                while busy and busy[0][0] <= now:
+                    _, _, chip, ri = heapq.heappop(busy)
+                    n_events += 1
+                    heapq.heappush(free, chip)
+                    rec = recs[ri]
+                    chip_busy[chip] += rec[6]
+                    completion_order.append(ri)
+                    if stream is not None:
+                        a, b = rec[0], rec[1]
+                        lat = (rec[4] - arr_np[a:b]) * 1e-6
+                        size = b - a
+                        if first_key is None:
+                            r0 = min(
+                                trace[a:b],
+                                key=lambda r: (r.arrival_ns, r.request_id),
+                            )
+                            first_key = (r0.arrival_ns, r0.request_id)
+                            fk = first_key
+                        else:
+                            fk = None
+                        stream._observe_block(
+                            (model, "", chip_type[chip]),
+                            lat,
+                            size,
+                            rec[5] * size,
+                            fk,
+                        )
+                if now > makespan:
+                    makespan = now
+                pump(now)
+            elif t_a <= t_w:
+                was_empty = head == i
+                i += 1
+                n_events += 1
+                if was_empty or i - head >= B:
+                    pump(t_a)
+                else:
+                    # Bulk-advance arrivals that cannot trigger dispatch:
+                    # depth stays under the cap and no earlier event
+                    # intervenes (window timers lose arrival time ties).
+                    cap = head + B - 1
+                    if cap > n:
+                        cap = n
+                    while i < cap:
+                        a = arr[i]
+                        if a < t_c and a <= t_w:
+                            i += 1
+                            n_events += 1
+                        else:
+                            break
+            else:
+                now = armed
+                armed = None
+                n_events += 1
+                pump(now)
+
+        self.last_stats = EngineStats(
+            n_events=n_events,
+            n_dispatch_rounds=n_rounds,
+            n_slot_scans=n_scans,
+            n_batches=n_batches,
+        )
+        if head != n:
+            raise RuntimeError(f"{n - head} requests never dispatched")
+        served: List[ServedRequest] = []
+        if stream is None:
+            for ri in completion_order:
+                a, b, chip, dispatch_ns, finish_ns, share, _ = recs[ri]
+                size = b - a
+                for j in range(a, b):
+                    served.append(
+                        ServedRequest(
+                            request=trace[j],
+                            chip_id=chip,
+                            batch_size=size,
+                            dispatch_ns=dispatch_ns,
+                            finish_ns=finish_ns,
+                            energy_pj=share,
+                        )
+                    )
+            served.sort(
+                key=lambda s: (s.request.arrival_ns, s.request.request_id)
+            )
+        return ServingResult(
+            served=tuple(served),
+            n_chips=cluster.n_chips,
+            chip_busy_ns=tuple(chip_busy),
+            makespan_ns=makespan,
+            n_batches=n_batches,
+            policy=policy,
+            power=None,
+            rejected=(),
+            n_rejections=0,
+            admission=None,
+            clients=clients,
+            scheduler=None,
+            tenants=(),
+            preempted=(),
+            stream=stream,
         )

@@ -12,6 +12,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.experiments.report import format_table
 from repro.serve.cluster import Cluster
 from repro.serve.engine import ServingResult
@@ -19,20 +21,43 @@ from repro.serve.power import PowerTrace
 from repro.serve.tenancy import TenancyConfig, deadline_ns
 
 
+def _percentiles_from_sorted(
+    ordered: Sequence[float], qs: Sequence[float]
+) -> Tuple[float, ...]:
+    """Linear-interpolation percentiles over an already-sorted sequence.
+
+    One sort serves any number of quantiles — the summarize hot path used
+    to re-sort the same latency list for every percentile call.  The
+    interpolation is the exact expression :func:`percentile` always used,
+    evaluated on Python floats (so a numpy-sorted array yields the same
+    bits), keeping every report golden byte-identical.
+    """
+    n = len(ordered)
+    if n == 0:
+        raise ValueError("cannot take a percentile of no samples")
+    out = []
+    for q in qs:
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if n == 1:
+            out.append(float(ordered[0]))
+            continue  # single sample: every quantile is that sample
+        rank = q / 100.0 * (n - 1)
+        lower = int(rank)
+        upper = min(lower + 1, n - 1)
+        frac = rank - lower
+        out.append(
+            float(ordered[lower]) * (1.0 - frac)
+            + float(ordered[upper]) * frac
+        )
+    return tuple(out)
+
+
 def percentile(values: Sequence[float], q: float) -> float:
     """Linear-interpolation percentile (numpy's default), dependency-free."""
-    if not values:
+    if not len(values):
         raise ValueError("cannot take a percentile of no samples")
-    if not 0.0 <= q <= 100.0:
-        raise ValueError("percentile must be in [0, 100]")
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return ordered[0]
-    rank = q / 100.0 * (len(ordered) - 1)
-    lower = int(rank)
-    upper = min(lower + 1, len(ordered) - 1)
-    frac = rank - lower
-    return ordered[lower] * (1.0 - frac) + ordered[upper] * frac
+    return _percentiles_from_sorted(sorted(values), (q,))[0]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -244,37 +269,52 @@ class ServingReport:
         return sum(self.chip_utilization) / len(self.chip_utilization)
 
 
-def summarize(
+def _model_slo_ms(
+    model: str,
+    cluster: Cluster,
+    slo_ms: Optional[float],
+    slo_multiple: float,
+) -> float:
+    if slo_ms is not None:
+        return slo_ms
+    return slo_multiple * cluster.reference_latency_ns(model) * 1e-6
+
+
+def _retained_sections(
     result: ServingResult,
     cluster: Cluster,
-    slo_ms: Optional[float] = None,
-    slo_multiple: float = 10.0,
-    tenancy: Optional[TenancyConfig] = None,
-) -> ServingReport:
-    """Roll a simulation up into a :class:`ServingReport`.
+    slo_ms: Optional[float],
+    slo_multiple: float,
+    tenancy: Optional[TenancyConfig],
+    duration_s: float,
+):
+    """Per-model / per-chip-type / per-tenant stats from retained records.
 
-    The SLO defaults to ``slo_multiple`` times each model's batch-1 service
-    latency on its best hosting chip — the no-queueing floor, independent
-    of fleet group order — so it scales sensibly from AlexNet to LLaMA
-    without per-model tuning.
-
-    Pass the run's ``tenancy`` config to score each tenant's attainment
-    against its *own* SLO-class deadline; without it, tenants are scored
-    against the report-level per-model SLO like everything else.
+    A single pass groups the served list by model and by chip type (the
+    old code re-scanned the full list once per model through
+    ``for_model`` and a second time for the type split), and each latency
+    list is sorted exactly once for all of its percentiles — the values,
+    and so every report golden, are byte-identical.
     """
-    duration_s = result.makespan_ns * 1e-9
+    by_model: dict = {}
+    served_by_type: dict = {t: [] for t in cluster.chip_types}
+    type_of = [cluster.chip_type(c) for c in range(cluster.n_chips)]
+    for s in result.served:
+        model = s.request.model
+        group = by_model.get(model)
+        if group is None:
+            group = by_model[model] = []
+        group.append(s)
+        served_by_type[type_of[s.chip_id]].append(s)
     per_model = []
     met_total = 0
     model_slo_ms: dict = {}
     for model in result.models:
-        served = result.for_model(model)
+        served = by_model[model]
         latencies_ms = [s.latency_ns * 1e-6 for s in served]
-        slo = (
-            slo_ms
-            if slo_ms is not None
-            else slo_multiple * cluster.reference_latency_ns(model) * 1e-6
-        )
+        slo = _model_slo_ms(model, cluster, slo_ms, slo_multiple)
         model_slo_ms[model] = slo
+        ordered = sorted(latencies_ms)
         met = sum(1 for latency in latencies_ms if latency <= slo)
         met_total += met
         model_energy_pj = sum(s.energy_pj for s in served)
@@ -282,15 +322,16 @@ def summarize(
         batches = {(s.chip_id, s.dispatch_ns) for s in served}
         tokens = sum(s.seq_len for s in served)
         padded = sum(s.padded_seq_len for s in served)
+        p50, p95, p99 = _percentiles_from_sorted(ordered, (50, 95, 99))
         per_model.append(
             ModelServingStats(
                 model=model,
                 n_requests=len(served),
-                p50_ms=percentile(latencies_ms, 50),
-                p95_ms=percentile(latencies_ms, 95),
-                p99_ms=percentile(latencies_ms, 99),
+                p50_ms=p50,
+                p95_ms=p95,
+                p99_ms=p99,
                 mean_ms=sum(latencies_ms) / len(latencies_ms),
-                max_ms=max(latencies_ms),
+                max_ms=ordered[-1],
                 mean_batch_size=len(served) / len(batches),
                 energy_per_request_uj=energy_uj,
                 slo_ms=slo,
@@ -305,18 +346,8 @@ def summarize(
                 ),
             )
         )
-    throughput = result.n_requests / duration_s if duration_s > 0 else 0.0
-    goodput = met_total / duration_s if duration_s > 0 else 0.0
-    total_energy_uj = result.total_energy_pj * 1e-6
-    per_request_uj = (
-        total_energy_uj / result.n_requests if result.n_requests else 0.0
-    )
-    total_tokens = result.total_tokens
     per_chip_type = []
     utilization = result.chip_utilization
-    served_by_type: dict = {t: [] for t in cluster.chip_types}
-    for s in result.served:
-        served_by_type[cluster.chip_type(s.chip_id)].append(s)
     for chip_type in cluster.chip_types:
         ids = cluster.chips_of_type(chip_type)
         served_here = served_by_type[chip_type]
@@ -361,6 +392,12 @@ def summarize(
             if s.latency_ns * 1e-6 <= _deadline_ms(s.request.model)
         )
         lost = [p for p in result.preempted if p.tenant == name]
+        if latencies_ms:
+            ordered = sorted(latencies_ms)
+            p50, p99 = _percentiles_from_sorted(ordered, (50, 99))
+            mean_ms = sum(latencies_ms) / len(latencies_ms)
+        else:
+            p50 = p99 = mean_ms = 0.0
         per_tenant.append(
             TenantStats(
                 tenant=name,
@@ -371,13 +408,9 @@ def summarize(
                 n_offered=len(served_here) + len(dropped_here),
                 n_requests=len(served_here),
                 n_dropped=len(dropped_here),
-                p50_ms=percentile(latencies_ms, 50) if latencies_ms else 0.0,
-                p99_ms=percentile(latencies_ms, 99) if latencies_ms else 0.0,
-                mean_ms=(
-                    sum(latencies_ms) / len(latencies_ms)
-                    if latencies_ms
-                    else 0.0
-                ),
+                p50_ms=p50,
+                p99_ms=p99,
+                mean_ms=mean_ms,
                 slo_attainment=(
                     met_here / len(served_here) if served_here else 1.0
                 ),
@@ -386,6 +419,181 @@ def summarize(
                 preempted_wasted_ms=sum(p.wasted_ns for p in lost) * 1e-6,
             )
         )
+    return per_model, met_total, per_chip_type, per_tenant
+
+
+def _stream_sections(
+    result: ServingResult,
+    cluster: Cluster,
+    slo_ms: Optional[float],
+    slo_multiple: float,
+    tenancy: Optional[TenancyConfig],
+    duration_s: float,
+):
+    """Report sections from a streaming run's (model, tenant, type) cells.
+
+    Latency percentiles and max are bit-identical to retained mode (same
+    multiset, same interpolation); means and energy roll-ups accumulate
+    in a different order and may differ in the last ULPs, as documented
+    on :mod:`repro.serve.streaming`.
+    """
+    stream = result.stream
+    cells = stream.cells
+    per_model = []
+    met_total = 0
+    model_slo_ms: dict = {}
+    for model in result.models:
+        lat = stream.latencies_ms(model=model)
+        n_here = len(lat)
+        slo = _model_slo_ms(model, cluster, slo_ms, slo_multiple)
+        model_slo_ms[model] = slo
+        met = int((lat <= slo).sum())
+        met_total += met
+        model_cells = [c for (m, _, _), c in cells.items() if m == model]
+        model_energy_pj = sum(c.energy_pj for c in model_cells)
+        n_batches = sum(c.batches for c in model_cells)
+        tokens = sum(c.tokens for c in model_cells)
+        padded = sum(c.padded for c in model_cells)
+        ordered = np.sort(lat)
+        p50, p95, p99 = _percentiles_from_sorted(ordered, (50, 95, 99))
+        per_model.append(
+            ModelServingStats(
+                model=model,
+                n_requests=n_here,
+                p50_ms=p50,
+                p95_ms=p95,
+                p99_ms=p99,
+                mean_ms=float(lat.sum()) / n_here,
+                max_ms=float(ordered[-1]),
+                mean_batch_size=n_here / n_batches,
+                energy_per_request_uj=model_energy_pj * 1e-6 / n_here,
+                slo_ms=slo,
+                slo_attainment=met / n_here,
+                mean_seq_len=tokens / n_here if tokens else 0.0,
+                tokens_per_s=tokens / duration_s if duration_s > 0 else 0.0,
+                energy_per_token_nj=(
+                    model_energy_pj * 1e-3 / tokens if tokens else 0.0
+                ),
+                padding_overhead=(
+                    (padded - tokens) / padded if padded else 0.0
+                ),
+            )
+        )
+    per_chip_type = []
+    utilization = result.chip_utilization
+    for chip_type in cluster.chip_types:
+        ids = cluster.chips_of_type(chip_type)
+        here = [(m, c) for (m, _, ct), c in cells.items() if ct == chip_type]
+        n_here = sum(c.n for _, c in here)
+        met_here = sum(
+            int(
+                (
+                    np.frombuffer(c.lat_ms, dtype=np.float64)
+                    <= model_slo_ms[m]
+                ).sum()
+            )
+            for m, c in here
+        )
+        energy_pj = sum(c.energy_pj for _, c in here)
+        energy_uj = energy_pj * 1e-6
+        busy_ns = sum(result.chip_busy_ns[i] for i in ids)
+        per_chip_type.append(
+            ChipTypeStats(
+                chip_type=chip_type,
+                n_chips=len(ids),
+                n_requests=n_here,
+                mean_utilization=sum(utilization[i] for i in ids) / len(ids),
+                energy_uj=energy_uj,
+                energy_per_request_uj=energy_uj / n_here if n_here else 0.0,
+                goodput_rps=met_here / duration_s if duration_s > 0 else 0.0,
+                watts=energy_pj / busy_ns * 1e-3 if busy_ns > 0 else 0.0,
+            )
+        )
+    per_tenant = []
+    for name in result.tenants:
+        tenant_cfg = tenancy.tenant(name) if tenancy is not None else None
+        here = [(m, c) for (m, t, _), c in cells.items() if t == name]
+        lat = stream.latencies_ms(tenant=name)
+        n_here = len(lat)
+        dropped_here = result.rejected_for_tenant(name)
+
+        def _deadline_ms(model: str) -> float:
+            if tenant_cfg is not None:
+                return deadline_ns(tenant_cfg, model, cluster) * 1e-6
+            return model_slo_ms[model]
+
+        met_here = sum(
+            int(
+                (
+                    np.frombuffer(c.lat_ms, dtype=np.float64)
+                    <= _deadline_ms(m)
+                ).sum()
+            )
+            for m, c in here
+        )
+        lost = [p for p in result.preempted if p.tenant == name]
+        if n_here:
+            ordered = np.sort(lat)
+            p50, p99 = _percentiles_from_sorted(ordered, (50, 99))
+            mean_ms = float(lat.sum()) / n_here
+        else:
+            p50 = p99 = mean_ms = 0.0
+        per_tenant.append(
+            TenantStats(
+                tenant=name,
+                slo_class=(
+                    tenant_cfg.slo_class if tenant_cfg is not None else ""
+                ),
+                weight=tenant_cfg.weight if tenant_cfg is not None else 1.0,
+                n_offered=n_here + len(dropped_here),
+                n_requests=n_here,
+                n_dropped=len(dropped_here),
+                p50_ms=p50,
+                p99_ms=p99,
+                mean_ms=mean_ms,
+                slo_attainment=met_here / n_here if n_here else 1.0,
+                goodput_rps=met_here / duration_s if duration_s > 0 else 0.0,
+                n_preemptions=len(lost),
+                preempted_wasted_ms=sum(p.wasted_ns for p in lost) * 1e-6,
+            )
+        )
+    return per_model, met_total, per_chip_type, per_tenant
+
+
+def summarize(
+    result: ServingResult,
+    cluster: Cluster,
+    slo_ms: Optional[float] = None,
+    slo_multiple: float = 10.0,
+    tenancy: Optional[TenancyConfig] = None,
+) -> ServingReport:
+    """Roll a simulation up into a :class:`ServingReport`.
+
+    The SLO defaults to ``slo_multiple`` times each model's batch-1 service
+    latency on its best hosting chip — the no-queueing floor, independent
+    of fleet group order — so it scales sensibly from AlexNet to LLaMA
+    without per-model tuning.
+
+    Pass the run's ``tenancy`` config to score each tenant's attainment
+    against its *own* SLO-class deadline; without it, tenants are scored
+    against the report-level per-model SLO like everything else.
+    """
+    duration_s = result.makespan_ns * 1e-9
+    if result.stream is not None:
+        per_model, met_total, per_chip_type, per_tenant = _stream_sections(
+            result, cluster, slo_ms, slo_multiple, tenancy, duration_s
+        )
+    else:
+        per_model, met_total, per_chip_type, per_tenant = _retained_sections(
+            result, cluster, slo_ms, slo_multiple, tenancy, duration_s
+        )
+    throughput = result.n_requests / duration_s if duration_s > 0 else 0.0
+    goodput = met_total / duration_s if duration_s > 0 else 0.0
+    total_energy_uj = result.total_energy_pj * 1e-6
+    per_request_uj = (
+        total_energy_uj / result.n_requests if result.n_requests else 0.0
+    )
+    total_tokens = result.total_tokens
     accelerator = (
         "+".join(cluster.chip_types)
         if cluster.heterogeneous

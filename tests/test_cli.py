@@ -125,6 +125,23 @@ class TestServeCommand:
         assert main(argv) == 0
         assert capsys.readouterr().out == first
 
+    def test_progress_streams_and_matches_retained_report(self, capsys):
+        """--progress switches to streaming metrics: a rolling p99 lands
+        on stderr and the rendered report is identical to retained mode
+        (percentiles are bit-identical by the streaming contract)."""
+        argv = ["serve", "--model", "resnet18", "--chips", "4",
+                "--rps", "2000", "--seed", "0"]
+        assert main(argv) == 0
+        retained = capsys.readouterr().out
+        assert main(argv + ["--progress", "50"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == retained
+        assert "rolling p99" in captured.err
+
+    def test_progress_zero_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--progress", "0"])
+
     def test_defaults_match_explicit_acceptance_flags(self, capsys):
         assert main(["serve"]) == 0
         default = capsys.readouterr().out

@@ -1,0 +1,292 @@
+"""Engine hot-path scaling: guard-rails, streaming mode, turbo path.
+
+Four suites around the million-request refactor:
+
+* the generator-trace regression — ``run`` used to iterate its trace
+  twice (validate, then fill), so a generator validated fine and then
+  silently simulated zero requests;
+* counter-instrumented scaling guard-rails — :class:`EngineStats` work
+  counters (no wall clock anywhere) pin the dispatch scan to linear in
+  the event count and strictly below the old events x slots product;
+* the streaming differential — a run with ``stream=StreamingMetrics()``
+  must report bit-identical latency percentiles to the retained run,
+  and its rolling p99 must equal the retained p99 exactly;
+* the turbo differential — the single-slot fast path must replay the
+  general event loop byte for byte (``_force_general`` forces the
+  general path on an otherwise turbo-eligible run).
+"""
+
+import pytest
+
+from repro.models import get_workload
+from repro.serve import (
+    BatchingPolicy,
+    Cluster,
+    ServingEngine,
+    StreamingMetrics,
+    diurnal_trace,
+    merge_traces,
+    poisson_trace,
+    summarize,
+)
+
+MODELS_8 = (
+    "resnet18", "alexnet", "vgg16", "mobilenetv3",
+    "densenet201", "vit", "mobilebert", "qdqbert",
+)
+
+
+def _engine(models, n_chips=4, max_batch=8, window_ns=200_000.0, **kwargs):
+    cluster = Cluster([get_workload(m) for m in models], n_chips=n_chips)
+    policy = BatchingPolicy(max_batch_size=max_batch, window_ns=window_ns)
+    return ServingEngine(cluster, policy, **kwargs), cluster
+
+
+def _mixed_trace(models, rps_each, duration_s):
+    traces = [
+        poisson_trace(m, rps=rps_each, duration_s=duration_s, seed=i)
+        for i, m in enumerate(models)
+    ]
+    return merge_traces(*traces) if len(traces) > 1 else traces[0]
+
+
+class TestGeneratorTrace:
+    """Regression: a generator trace must simulate every request."""
+
+    def test_generator_equals_list(self):
+        trace = poisson_trace("resnet18", rps=20000, duration_s=0.02, seed=3)
+        engine, _ = _engine(["resnet18"])
+        from_list = engine.run(trace)
+        engine2, _ = _engine(["resnet18"])
+        from_gen = engine2.run(r for r in trace)
+        assert from_gen.served == from_list.served
+        assert from_gen == from_list
+
+    def test_generator_serves_all_requests(self):
+        trace = poisson_trace("resnet18", rps=20000, duration_s=0.02, seed=3)
+        engine, _ = _engine(["resnet18"])
+        result = engine.run(iter(trace))
+        assert len(result.served) == len(trace) > 0
+
+    def test_generator_on_general_path_too(self):
+        trace = _mixed_trace(["resnet18", "alexnet"], 10000, 0.02)
+        engine, _ = _engine(["resnet18", "alexnet"])
+        result = engine.run(iter(trace))
+        assert len(result.served) == len(trace) > 0
+
+
+class TestScalingGuardRails:
+    """Deterministic work counters: linear in requests, not events x slots.
+
+    Pure counting — no timing anywhere, so the assertions are stable on
+    any machine.  ``_force_general`` pins the general event loop (the
+    turbo path has no dispatch scan to guard).
+    """
+
+    def _general_stats(self, models, rps_each, duration_s, n_chips=4):
+        trace = _mixed_trace(models, rps_each, duration_s)
+        engine, _ = _engine(models, n_chips=n_chips)
+        engine._force_general = True
+        engine.run(trace)
+        return len(trace), engine.last_stats
+
+    def test_slot_scans_linear_in_requests(self):
+        """8x the requests => ~8x the slot scans (per-request flat)."""
+        n_small, small = self._general_stats(
+            ["resnet18", "alexnet"], 10000, 0.05
+        )
+        n_big, big = self._general_stats(
+            ["resnet18", "alexnet"], 10000, 0.4
+        )
+        assert n_big > 6 * n_small
+        per_small = small.n_slot_scans / n_small
+        per_big = big.n_slot_scans / n_big
+        assert per_big <= 1.2 * per_small
+        assert big.n_events / n_big <= 1.2 * (small.n_events / n_small)
+
+    def test_slot_scans_beat_the_events_x_slots_product(self):
+        """The old scan examined every slot each dispatch round; indexed
+        dirty-slot bookkeeping must stay well below that product."""
+        _, stats = self._general_stats(MODELS_8, 20000 / 8, 0.05)
+        n_slots = len(MODELS_8)
+        assert stats.n_slot_scans <= 0.6 * stats.n_dispatch_rounds * n_slots
+
+    def test_slot_scans_sublinear_in_slot_count(self):
+        """Adding idle-ish slots must not multiply the scan work."""
+        _, two = self._general_stats(["resnet18", "alexnet"], 10000, 0.05)
+        _, eight = self._general_stats(MODELS_8, 20000 / 8, 0.05)
+        scans_per_event_2 = two.n_slot_scans / two.n_events
+        scans_per_event_8 = eight.n_slot_scans / eight.n_events
+        # 4x the slots must cost well under 4x the per-event scan work.
+        assert scans_per_event_8 <= 3.0 * scans_per_event_2
+
+    def test_turbo_event_count_linear(self):
+        """The fast path processes O(requests) events, no window storms."""
+        trace = poisson_trace("resnet18", rps=50000, duration_s=0.05, seed=0)
+        engine, _ = _engine(["resnet18"])
+        engine.run(trace)
+        stats = engine.last_stats
+        n = len(trace)
+        assert stats.n_events <= 2 * n + 2 * stats.n_batches + 2
+        assert stats.n_slot_scans <= stats.n_events
+
+
+class _CollectingProgress:
+    def __init__(self):
+        self.lines = []
+
+    def __call__(self, line):
+        self.lines.append(line)
+
+
+class TestStreamingDifferential:
+    """stream=StreamingMetrics() vs retained: percentiles bit-identical."""
+
+    def _pair(self, models, rps_each, duration_s, n_chips=4, **kwargs):
+        trace = tuple(_mixed_trace(models, rps_each, duration_s))
+        engine, cluster = _engine(models, n_chips=n_chips, **kwargs)
+        retained = summarize(engine.run(trace), cluster)
+        engine2, _ = _engine(models, n_chips=n_chips, **kwargs)
+        stream = StreamingMetrics()
+        streamed = summarize(engine2.run(trace, stream=stream), cluster)
+        return retained, streamed, stream, len(trace)
+
+    def _assert_reports_match(self, retained, streamed):
+        assert len(streamed.per_model) == len(retained.per_model)
+        for got, want in zip(streamed.per_model, retained.per_model):
+            assert got.model == want.model
+            assert got.n_requests == want.n_requests
+            # Percentiles read the exact same latency multiset through
+            # the same interpolation: bit-identical, not approximate.
+            assert got.p50_ms == want.p50_ms
+            assert got.p95_ms == want.p95_ms
+            assert got.p99_ms == want.p99_ms
+            assert got.max_ms == want.max_ms
+            assert got.slo_attainment == want.slo_attainment
+            assert got.mean_batch_size == want.mean_batch_size
+            # Float sums accumulate per batch, not per request: equal to
+            # relative rounding, not to the last bit.
+            assert got.mean_ms == pytest.approx(want.mean_ms, rel=1e-9)
+            assert got.energy_per_request_uj == pytest.approx(
+                want.energy_per_request_uj, rel=1e-9
+            )
+        assert streamed.throughput_rps == retained.throughput_rps
+        assert streamed.goodput_rps == pytest.approx(
+            retained.goodput_rps, rel=1e-9
+        )
+        for got, want in zip(streamed.per_chip_type, retained.per_chip_type):
+            assert got.chip_type == want.chip_type
+            assert got.n_requests == want.n_requests
+            assert got.goodput_rps == pytest.approx(
+                want.goodput_rps, rel=1e-9
+            )
+
+    def test_turbo_path_stream_matches_retained(self):
+        retained, streamed, stream, n = self._pair(["resnet18"], 30000, 0.05)
+        self._assert_reports_match(retained, streamed)
+        assert stream.n_served == n
+
+    def test_general_path_stream_matches_retained(self):
+        retained, streamed, stream, n = self._pair(
+            ["resnet18", "alexnet"], 15000, 0.05
+        )
+        self._assert_reports_match(retained, streamed)
+        assert stream.n_served == n
+
+    def test_rolling_p99_equals_retained_p99(self):
+        retained, _, stream, _ = self._pair(["resnet18"], 30000, 0.05)
+        assert stream.rolling_p99_ms() == retained.per_model[0].p99_ms
+
+    def test_streamed_result_retains_no_requests(self):
+        trace = tuple(poisson_trace("resnet18", rps=20000, duration_s=0.02))
+        engine, _ = _engine(["resnet18"])
+        result = engine.run(trace, stream=StreamingMetrics())
+        assert result.served == ()
+        assert result.n_requests == len(trace)
+        assert result.stream is not None
+
+    def test_one_run_per_instance(self):
+        trace = tuple(poisson_trace("resnet18", rps=20000, duration_s=0.01))
+        stream = StreamingMetrics()
+        engine, _ = _engine(["resnet18"])
+        engine.run(trace, stream=stream)
+        engine2, _ = _engine(["resnet18"])
+        with pytest.raises(RuntimeError, match="exactly one run"):
+            engine2.run(trace, stream=stream)
+
+    def test_progress_emits_rolling_p99(self):
+        trace = tuple(poisson_trace("resnet18", rps=20000, duration_s=0.02))
+        progress = _CollectingProgress()
+        stream = StreamingMetrics(progress_every=100, progress=progress)
+        engine, _ = _engine(["resnet18"])
+        engine.run(trace, stream=stream)
+        assert len(progress.lines) >= len(trace) // 100 - 1
+        assert all("rolling p99" in line for line in progress.lines)
+
+    def test_bad_progress_every_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingMetrics(progress_every=-1)
+
+
+class TestTurboDifferential:
+    """The single-slot fast path replays the general loop byte for byte."""
+
+    REGIMES = (
+        # (label, rps, duration_s, n_chips, max_batch, window_ns)
+        ("steady", 60_000, 0.05, 4, 8, 200_000.0),
+        ("saturated", 200_000, 0.02, 2, 8, 200_000.0),
+        ("window-dominated", 5_000, 0.05, 4, 8, 200_000.0),
+        ("batch-1", 30_000, 0.02, 4, 1, 0.0),
+        ("zero-window", 30_000, 0.02, 4, 5, 0.0),
+    )
+
+    @pytest.mark.parametrize(
+        "label,rps,duration_s,n_chips,max_batch,window_ns",
+        REGIMES,
+        ids=[r[0] for r in REGIMES],
+    )
+    def test_turbo_matches_general(
+        self, label, rps, duration_s, n_chips, max_batch, window_ns
+    ):
+        trace = tuple(
+            poisson_trace("resnet18", rps=rps, duration_s=duration_s, seed=0)
+        )
+        turbo_engine, _ = _engine(
+            ["resnet18"],
+            n_chips=n_chips,
+            max_batch=max_batch,
+            window_ns=window_ns,
+        )
+        turbo = turbo_engine.run(trace)
+        general_engine, _ = _engine(
+            ["resnet18"],
+            n_chips=n_chips,
+            max_batch=max_batch,
+            window_ns=window_ns,
+        )
+        general_engine._force_general = True
+        general = general_engine.run(trace)
+        assert turbo.served == general.served
+        assert turbo.chip_busy_ns == general.chip_busy_ns
+        assert turbo.makespan_ns == general.makespan_ns
+        assert turbo.n_batches == general.n_batches
+        assert turbo == general
+
+    def test_diurnal_trace_matches(self):
+        trace = tuple(
+            diurnal_trace("resnet18", rps=80_000, duration_s=0.1, seed=0)
+        )
+        turbo_engine, _ = _engine(["resnet18"], n_chips=8)
+        general_engine, _ = _engine(["resnet18"], n_chips=8)
+        general_engine._force_general = True
+        assert turbo_engine.run(trace) == general_engine.run(trace)
+
+    def test_round_robin_routing_stays_general(self):
+        """round-robin differs per dispatch; the gate must not take it."""
+        trace = tuple(
+            poisson_trace("resnet18", rps=30_000, duration_s=0.02, seed=0)
+        )
+        engine, _ = _engine(["resnet18"], routing="round-robin")
+        forced, _ = _engine(["resnet18"], routing="round-robin")
+        forced._force_general = True
+        assert engine.run(trace) == forced.run(trace)
