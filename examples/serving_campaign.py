@@ -40,10 +40,12 @@ from repro.models import BENCHMARK_MODELS
 from repro.models.zoo import get_workload
 from repro.serve import (
     Cluster,
+    ElasticConfig,
     ROUTING_POLICIES,
     SEQLEN_DISTS,
     Tenant,
     estimated_saturation_clients,
+    simulate_regions,
     simulate_serving,
 )
 
@@ -135,6 +137,7 @@ def main() -> None:
     power_envelope_scenario(model, chips, 1.2 * peak_rps)
     closed_loop_scenario(model, chips)
     multi_tenant_scenario(model, chips, peak_rps)
+    follow_the_sun_scenario(model, chips, peak_rps)
 
 
 def mixed_fleet_scenario(model, chips, rps, seqlen_dist):
@@ -371,6 +374,65 @@ def multi_tenant_scenario(model, chips, peak_rps):
         "batches are evicted (their wasted service time charged\n"
         "explicitly) whenever waiting would miss chat's deadline, buying\n"
         "nearly the same interactive tail without shedding a request.\n"
+    )
+
+
+def follow_the_sun_scenario(model, chips, peak_rps):
+    """Three regions, staggered diurnal peaks, elastic fleets
+    (`repro.serve.regions` + `repro.serve.elastic`).
+
+    Each region offers ~0.8x its own cluster ceiling at the top of its
+    daily sine wave, with the peaks spread a third of a day apart.  The
+    sweep holds the traffic fixed and changes only the fleet contract:
+    static peak provisioning (every chip held for the whole horizon),
+    per-region autoscaling (chips drain through each region's night,
+    paying a provisioning delay at dawn), and autoscaling with a wider
+    spill window (more over-capacity traffic re-homed to whichever
+    region is idlest, at an RTT on the perceived latency).
+    """
+    rps = 0.8 * peak_rps
+    elastic = ElasticConfig(min_chips=1, max_chips=chips,
+                            provision_delay_ms=2.0)
+    print(section(
+        f"Follow the sun — 3 regions x {chips} chips, {model} @ "
+        f"{rps:.0f} req/s per region at peak"
+    ))
+    rows = []
+    for label, cfg, threshold in (
+        ("static peak", None, 0.9),
+        ("elastic 1..%d" % chips, elastic, 0.9),
+        ("elastic + eager spill", elastic, 0.7),
+    ):
+        rep = simulate_regions(
+            [model], n_regions=3, rps=rps, n_chips=chips,
+            duration_s=0.1, seed=0, rtt_ms=1.0, elastic=cfg,
+            spill_threshold=threshold,
+        )
+        if rep.n_requests == 0:
+            print("(load too low for the simulated horizon — no arrivals)\n")
+            return
+        rows.append(
+            (
+                label,
+                f"{rep.p50_ms:.3f}",
+                f"{rep.p99_ms:.3f}",
+                f"{100 * rep.spill_fraction:.1f}%",
+                f"{rep.chip_seconds * 1e3:.1f}",
+            )
+        )
+    print(format_table(
+        ("fleet contract", "p50 ms", "p99 ms", "spilled", "chip-ms"),
+        rows,
+    ))
+    print(
+        "Staggered peaks are what autoscaling monetizes: every region\n"
+        "idles through its night, so draining to one chip and re-growing\n"
+        "at dawn cuts the fleet's chip-time bill far below static peak\n"
+        "provisioning, at a bounded tail-latency price (the provisioning\n"
+        "delay shows up at each morning's ramp).  Spilling earlier\n"
+        "shifts load onto whichever region is idlest instead — cheaper\n"
+        "still on chip-time, but every spilled request pays the\n"
+        "inter-region RTT on its perceived latency.\n"
     )
 
 

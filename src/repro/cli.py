@@ -93,10 +93,13 @@ from repro.serve import (
     THINK_DISTS,
     TRACE_KINDS,
     StreamingMetrics,
+    format_regions,
     format_serving,
     parse_admission,
+    parse_autoscale,
     parse_fleet,
     parse_tenants,
+    simulate_regions,
     simulate_serving,
 )
 
@@ -179,6 +182,58 @@ def _serve(args: argparse.Namespace) -> str:
     n_chips = args.chips
     if n_chips is None and fleet is None:
         n_chips = 4
+    elastic = None
+    if args.autoscale is not None:
+        try:
+            elastic = parse_autoscale(args.autoscale)
+        except ValueError as error:
+            raise SystemExit(f"--autoscale: {error}") from None
+        if args.preempt:
+            raise SystemExit(
+                "--autoscale cannot combine with --preempt (parked chips "
+                "look permanently free to the deadline probe)"
+            )
+    if args.regions is not None:
+        if args.regions < 1:
+            raise SystemExit("--regions must be >= 1")
+        for flag, present in (
+            ("--fleet", fleet is not None),
+            ("--tenants", tenants is not None),
+            ("--clients", args.clients is not None),
+            ("--admission", admission is not None),
+            ("--seqlen-dist", args.seqlen_dist is not None),
+            ("--power-cap/--t-max",
+             args.power_cap is not None or args.t_max is not None),
+            ("--progress", args.progress is not None),
+        ):
+            if present:
+                raise SystemExit(
+                    f"--regions runs are homogeneous open-loop diurnal "
+                    f"studies; they cannot combine with {flag}"
+                )
+        regions_report = simulate_regions(
+            models,
+            n_regions=args.regions,
+            rps=args.rps,
+            n_chips=n_chips,
+            duration_s=args.duration,
+            seed=args.seed,
+            rtt_ms=args.rtt_ms,
+            elastic=elastic,
+            max_batch_size=args.max_batch,
+            window_ms=args.window_ms,
+            slo_ms=args.slo_ms,
+        )
+        header = (
+            f"traffic           : {','.join(models)} @ {args.rps:g} req/s "
+            f"per region (follow-the-sun diurnal, {args.duration:g} s "
+            f"horizon, seed {args.seed})"
+        )
+        if elastic is not None:
+            header += (
+                f"\nautoscaling       : {args.autoscale} per region"
+            )
+        return header + "\n" + format_regions(regions_report)
     stream = None
     if args.progress is not None:
         if args.progress < 1:
@@ -219,6 +274,7 @@ def _serve(args: argparse.Namespace) -> str:
         scheduler=args.scheduler,
         preemption=args.preempt,
         stream_metrics=stream,
+        elastic=elastic,
     )
     if args.clients is not None:
         header = (
@@ -512,6 +568,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="let interactive arrivals preempt running lower-priority "
         "batches when waiting would miss their deadline (needs --tenants; "
         "incompatible with a power envelope)",
+    )
+    serve.add_argument(
+        "--autoscale",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="elastic fleet band: MAX, MIN:MAX or MIN:MAX:INITIAL chips "
+        "(e.g. 2:8); a controller adds/drains chips mid-run against the "
+        "observed load, with a provisioning delay; incompatible with "
+        "--preempt",
+    )
+    serve.add_argument(
+        "--regions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="multi-region follow-the-sun study: N regions of --chips "
+        "chips, each offered --rps over a phase-shifted diurnal trace, "
+        "with over-capacity windows spilling to the most idle region at "
+        "--rtt-ms cost; --autoscale then applies inside every region",
+    )
+    serve.add_argument(
+        "--rtt-ms",
+        type=float,
+        default=1.0,
+        help="inter-region round-trip time in ms for spilled requests "
+        "(default: 1; only meaningful with --regions)",
     )
     serve.add_argument(
         "--progress",

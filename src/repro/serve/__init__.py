@@ -96,6 +96,13 @@ from repro.serve.cluster import (
     plan_cluster,
     plan_fleet,
 )
+from repro.serve.elastic import (
+    ElasticConfig,
+    ElasticController,
+    ElasticTrace,
+    ScalingAction,
+    parse_autoscale,
+)
 from repro.serve.engine import (
     ROUTING_POLICIES,
     RejectedRequest,
@@ -147,6 +154,14 @@ from repro.serve.tenancy import (
     parse_tenants,
     tenant_traces,
 )
+from repro.serve.regions import (
+    RegionResult,
+    RegionSpec,
+    RegionsReport,
+    follow_the_sun,
+    format_regions,
+    simulate_regions,
+)
 from repro.serve.streaming import StreamingMetrics
 from repro.serve.traces import (
     Request,
@@ -181,6 +196,9 @@ __all__ = [
     "ClosedLoopDriver",
     "Cluster",
     "ClusterPlan",
+    "ElasticConfig",
+    "ElasticController",
+    "ElasticTrace",
     "FleetGroup",
     "FleetSpec",
     "GroupPowerTrace",
@@ -196,12 +214,16 @@ __all__ = [
     "PreemptionRecord",
     "QueueDepthCap",
     "ROUTING_POLICIES",
+    "RegionResult",
+    "RegionSpec",
+    "RegionsReport",
     "RejectedRequest",
     "Request",
     "RetryPolicy",
     "SCHEDULERS",
     "SEQLEN_DISTS",
     "SLO_CLASSES",
+    "ScalingAction",
     "Scheduler",
     "ServedRequest",
     "ServingEngine",
@@ -233,6 +255,8 @@ __all__ = [
     "fixed_trace",
     "fleet_cost_table",
     "fleet_group",
+    "follow_the_sun",
+    "format_regions",
     "format_serving",
     "homogeneous_fleet",
     "lognormal_seqlens",
@@ -241,6 +265,7 @@ __all__ = [
     "make_trace",
     "merge_traces",
     "parse_admission",
+    "parse_autoscale",
     "parse_fleet",
     "parse_tenants",
     "percentile",
@@ -248,6 +273,7 @@ __all__ = [
     "plan_fleet",
     "poisson_trace",
     "sample_seqlens",
+    "simulate_regions",
     "simulate_serving",
     "summarize",
     "tenant_traces",
@@ -293,6 +319,7 @@ def simulate_serving(
     preemption: bool = False,
     preemption_overhead_ns: float = 10_000.0,
     stream_metrics: Optional[StreamingMetrics] = None,
+    elastic: Optional[Union[ElasticConfig, str]] = None,
 ) -> Tuple[ServingReport, ServingResult]:
     """End-to-end serving run: build trace + cluster, simulate, summarize.
 
@@ -377,6 +404,18 @@ def simulate_serving(
     differ in the last ULPs.  ``StreamingMetrics(progress_every=N)``
     additionally emits a rolling p99 line every ``N`` served requests
     (the CLI ``--progress`` flag).
+
+    ``elastic`` runs the fleet under an autoscaling contract
+    (:class:`repro.serve.elastic.ElasticConfig`, or the CLI spec string
+    ``"MIN:MAX"`` — see :func:`~repro.serve.elastic.parse_autoscale`):
+    a controller watches the observed arrival rate (or the closed-loop
+    saturation bound), the backlog, and the power envelope, and grows or
+    drains the active chip prefix mid-run with a provisioning delay.
+    The scaling history lands on ``result.elastic`` and the report gains
+    an autoscaling section pricing the run in chip-seconds against
+    static peak provisioning.  A static band spanning the whole fleet
+    replays the inelastic run byte for byte (golden-guarded); elastic
+    runs cannot combine with ``preemption``.
     """
     if not models:
         raise ValueError("need at least one model to serve")
@@ -564,6 +603,8 @@ def simulate_serving(
                 else admission
             )
             admission = TenantTokenBucket(limits, inner=inner)
+    if isinstance(elastic, str):
+        elastic = parse_autoscale(elastic)
     engine = ServingEngine(
         cluster,
         policy,
@@ -571,6 +612,7 @@ def simulate_serving(
         power=power,
         admission=admission,
         tenancy=tenancy,
+        elastic=elastic,
     )
     result = engine.run(trace, clients=population, stream=stream_metrics)
     report = summarize(result, cluster, slo_ms=slo_ms, tenancy=tenancy)

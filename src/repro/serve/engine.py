@@ -58,6 +58,12 @@ from repro.serve.admission import AdmissionPolicy, parse_admission
 from repro.serve.batching import Batch, BatchingPolicy, ModelQueue
 from repro.serve.clients import ClientPopulation, ClosedLoopDriver
 from repro.serve.cluster import Cluster
+from repro.serve.elastic import (
+    ElasticConfig,
+    ElasticController,
+    ElasticTrace,
+    ScalingAction,
+)
 from repro.serve.power import PowerConfig, PowerGovernor, PowerTrace
 from repro.serve.tenancy import (
     FifoScheduler,
@@ -72,8 +78,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.serve.streaming import StreamingMetrics
 
 #: Event kinds, in same-timestamp processing order: completions free chips
-#: before new arrivals queue, which beat stale window timers.
-_COMPLETION, _ARRIVAL, _WINDOW = 0, 1, 2
+#: before new arrivals queue, which beat stale window timers, which beat
+#: elastic-controller evaluations/activations (scaling decisions observe
+#: the instant's fully settled state).
+_COMPLETION, _ARRIVAL, _WINDOW, _SCALE = 0, 1, 2, 3
 
 #: Chip-routing policies for fleets whose chips are not interchangeable:
 #: ``fastest`` prices the pending batch on every free hosting chip and
@@ -212,6 +220,11 @@ class ServingResult:
     scheduler: Optional[str] = None  # dispatch scheduler; None = no tenancy
     tenants: Tuple[str, ...] = ()  # declared tenant names, config order
     preempted: Tuple[PreemptionRecord, ...] = ()
+    #: Scaling history when the run was elastic
+    #: (:class:`repro.serve.elastic.ElasticConfig` passed to the engine);
+    #: ``None`` on the fixed-fleet path, *including* the degenerate
+    #: full-fleet static config, which is a provable no-op.
+    elastic: Optional[ElasticTrace] = None
     #: Streaming-mode accumulator (``served`` is then empty): the run's
     #: roll-ups live on compact per-(model, tenant, chip-type) buffers
     #: instead of per-request objects.  ``None`` on the retained path.
@@ -380,6 +393,7 @@ class ServingEngine:
         power: Optional[PowerConfig] = None,
         admission: Optional[Union[str, AdmissionPolicy]] = None,
         tenancy: Optional[TenancyConfig] = None,
+        elastic: Optional[ElasticConfig] = None,
     ) -> None:
         if routing not in ROUTING_POLICIES:
             raise ValueError(
@@ -393,12 +407,23 @@ class ServingEngine:
                 "batches draw power through to their completion instant "
                 "and the governor has no cancellation edge"
             )
+        if tenancy is not None and tenancy.preemption and elastic is not None:
+            raise ValueError(
+                "preemption cannot run on an elastic fleet: the deadline "
+                "probe reads every hosting chip's natural free instant, "
+                "and a parked chip would look permanently free to it"
+            )
+        if elastic is not None:
+            # Fail early on a band the fleet cannot satisfy (max_chips of
+            # None resolves at run time against the actual fleet size).
+            elastic.resolve(cluster.n_chips)
         self._cluster = cluster
         self._policy = policy
         self._routing = routing
         self._power = power
         self._admission = admission
         self._tenancy = tenancy
+        self._elastic = elastic
         #: Instrumentation of the most recent :meth:`run` (scaling
         #: guard-rails); ``None`` until a run completes.
         self.last_stats: Optional[EngineStats] = None
@@ -426,6 +451,10 @@ class ServingEngine:
     @property
     def tenancy(self) -> Optional[TenancyConfig]:
         return self._tenancy
+
+    @property
+    def elastic(self) -> Optional[ElasticConfig]:
+        return self._elastic
 
     def run(
         self,
@@ -519,8 +548,30 @@ class ServingEngine:
             # by arrival reproduces the old heap's (arrival, push-order)
             # ordering exactly, so out-of-order traces replay bit-for-bit.
             trace = tuple(sorted(trace, key=lambda r: r.arrival_ns))
+        elastic_cfg = self._elastic
+        el_lo = el_hi = el_init = 0
+        if elastic_cfg is not None:
+            el_lo, el_hi, el_init = elastic_cfg.resolve(cluster.n_chips)
+            if el_lo == cluster.n_chips:
+                # Full-fleet static band: no chip can ever join or leave,
+                # so the config is a provable no-op — drop straight onto
+                # the inelastic path (turbo included), byte for byte.
+                elastic_cfg = None
+            else:
+                # The active set is always the id prefix [0, n_active)
+                # with n_active >= min_chips, so every model must keep a
+                # hosting chip inside the permanent prefix — otherwise a
+                # scale-down could orphan its queue forever.
+                for m in cluster.models:
+                    if min(cluster.chips_for(m)) >= el_lo:
+                        raise ValueError(
+                            f"model {m!r} has no hosting chip below "
+                            f"min_chips={el_lo}; an elastic scale-down "
+                            "would leave its queue unserviceable"
+                        )
         if (
-            driver is None
+            elastic_cfg is None
+            and driver is None
             and tenancy is None
             and admission is None
             and governor is None
@@ -617,6 +668,48 @@ class ServingEngine:
         is_free = [True] * cluster.n_chips
         free_count: Dict[str, int] = {m: len(hosts[m]) for m in model_order}
         free_heap: List[Tuple[float, int]] = []
+        # -- elastic fleet state --------------------------------------------
+        # The active set is always the chip-id prefix [0, n_active):
+        # scale-downs drain the highest active chip, scale-ups activate
+        # the lowest parked one, so the invariant holds by induction.
+        # ``n_serving`` additionally counts drained chips still finishing
+        # their in-flight batch (they burn chip-time until they park) —
+        # the quantity the cost timeline records.
+        el_on = elastic_cfg is not None
+        controller: Optional[ElasticController] = None
+        active: List[bool] = []
+        draining: Set[int] = set()
+        el_actions: List[ScalingAction] = []
+        el_timeline: List[Tuple[float, int]] = []
+        n_active = cluster.n_chips
+        n_serving = cluster.n_chips
+        el_pending = 0  # chips requested, not yet activated
+        el_cancel = 0  # in-flight activations revoked by a later drain
+        el_arrivals = 0  # arrivals since the last controller evaluation
+        el_interval_ns = el_delay_ns = 0.0
+        if el_on:
+            active = [c < el_init for c in range(cluster.n_chips)]
+            for c in range(el_init, cluster.n_chips):
+                is_free[c] = False
+                for m in chip_models[c]:
+                    free_count[m] -= 1
+            n_active = n_serving = el_init
+            el_timeline.append((0.0, el_init))
+            if el_lo != el_hi:
+                controller = ElasticController(
+                    elastic_cfg,
+                    cluster,
+                    el_lo,
+                    el_hi,
+                    n_clients=(
+                        clients.n_clients if clients is not None else 0
+                    ),
+                    think_time_ms=(
+                        clients.think_time_ms if clients is not None else 0.0
+                    ),
+                )
+                el_interval_ns = elastic_cfg.interval_ms * 1e6
+                el_delay_ns = elastic_cfg.provision_delay_ms * 1e6
         # Slots an event may have made dispatchable.  The post-dispatch
         # invariant — no slot is simultaneously non-empty, ready, and
         # free-hosted once dispatch() returns — means only event-touched
@@ -636,7 +729,7 @@ class ServingEngine:
             m: routing != "round-robin" and tables[m].uniform
             for m in model_order
         }
-        track_queued = admission is not None
+        track_queued = admission is not None or controller is not None
         model_queued: Dict[str, int] = {m: 0 for m in model_order}
         total_queued = 0
         running: Dict[int, _InFlight] = {}
@@ -664,6 +757,12 @@ class ServingEngine:
         max_batch = policy.max_batch_size
         cursor = 0
         seq = trace_n
+        if controller is not None:
+            # First controller evaluation one interval in; re-armed from
+            # the _SCALE handler while the run still has work, so the
+            # chain stops once the loop is otherwise drained.
+            heapq.heappush(events, (el_interval_ns, _SCALE, seq, None))
+            seq += 1
         # Round-robin rotation state: next host index per model (shared
         # across tenants — rotation is a chip-placement concern, not a
         # fairness one; the scheduler owns fairness).
@@ -996,19 +1095,31 @@ class ServingEngine:
                 # free index (stale entries — preempted-then-recommitted
                 # chips — are skipped by the ground-truth time check).
                 while free_heap and free_heap[0][0] <= now:
-                    chip = heapq.heappop(free_heap)[1]
+                    finish, chip = heapq.heappop(free_heap)
                     if not is_free[chip] and chip_free[chip] <= now:
-                        mark_free(chip)
+                        if not el_on or active[chip]:
+                            mark_free(chip)
+                        elif chip in draining:
+                            # A drained chip finished its in-flight
+                            # batch: it parks at the completion instant
+                            # instead of rejoining the free index.
+                            draining.discard(chip)
+                            n_serving -= 1
+                            el_timeline.append((finish, n_serving))
             if governor is not None:
                 # Power is piecewise constant between events, so advancing
                 # the governor exactly here makes the integration exact.
                 governor.advance(now)
             if kind == _ARRIVAL:
                 request = payload
-                if admission is None and tenancy is None:
+                if controller is not None:
+                    el_arrivals += 1
+                if not track_queued and tenancy is None:
                     # Inlined enqueue fast path for the open/plain case:
                     # no admission counters, no tenant backlog — just the
-                    # push and the two dispatchability triggers.
+                    # push and the two dispatchability triggers.  (An
+                    # elastic controller needs the queued counters, so it
+                    # routes through enqueue like admission does.)
                     queue, index = slot_of[request.model]
                     was_empty = not queue._size
                     if queue.push(request) >= max_batch or was_empty:
@@ -1088,7 +1199,7 @@ class ServingEngine:
                         follow = driver.on_complete(request, now)
                         if follow is not None:
                             push_arrival(follow)
-            else:  # _WINDOW
+            elif kind == _WINDOW:
                 # The timer is spent; clear its armed marker so the
                 # dispatch scan below can arm the next one.  A stale
                 # timer (marker moved: the queue emptied and re-armed at
@@ -1099,6 +1210,101 @@ class ServingEngine:
                 if window_armed.get(payload) == now:
                     del window_armed[payload]
                     dirty.add(payload)
+            elif payload is None:  # _SCALE: periodic controller evaluation
+                delta, reason = controller.decide(
+                    arrivals=el_arrivals,
+                    interval_s=el_interval_ns * 1e-9,
+                    backlog=total_queued,
+                    n_provisioned=n_active + el_pending,
+                    over_cap=(
+                        governor.over_cap() if governor is not None else False
+                    ),
+                )
+                el_arrivals = 0
+                if delta > 0:
+                    el_pending += delta
+                    el_actions.append(
+                        ScalingAction(
+                            t_ns=now,
+                            kind="up",
+                            delta=delta,
+                            n_target=n_active + el_pending,
+                            reason=reason,
+                        )
+                    )
+                    # Capacity is never instant: the chips activate one
+                    # provisioning delay from now, as their own event.
+                    heapq.heappush(
+                        events, (now + el_delay_ns, _SCALE, seq, delta)
+                    )
+                    seq += 1
+                elif delta < 0:
+                    el_actions.append(
+                        ScalingAction(
+                            t_ns=now,
+                            kind="drain",
+                            delta=delta,
+                            n_target=n_active + delta + el_pending,
+                            reason=reason,
+                        )
+                    )
+                    # Cancel capacity still en route before touching live
+                    # chips: the delta is relative to the *provisioned*
+                    # count, which may exceed the active count while
+                    # scale-ups are in flight — draining that difference
+                    # off the active prefix would underflow it.
+                    to_drop = -delta
+                    cancel = min(to_drop, el_pending)
+                    el_pending -= cancel
+                    el_cancel += cancel
+                    to_drop -= cancel
+                    for _ in range(to_drop):
+                        chip = n_active - 1
+                        active[chip] = False
+                        n_active -= 1
+                        if is_free[chip]:
+                            # Idle: parks immediately.
+                            is_free[chip] = False
+                            for m in chip_models[chip]:
+                                free_count[m] -= 1
+                            n_serving -= 1
+                            el_timeline.append((now, n_serving))
+                        else:
+                            # Busy: finishes its in-flight batch first
+                            # (parked by the free-heap drain above once
+                            # the completion matures).
+                            draining.add(chip)
+                # Re-arm while the run still has work anywhere — unread
+                # trace, queued requests, in-flight batches, or pending
+                # heap events (retries, think-time arrivals, an
+                # activation in flight).  Once all are exhausted the
+                # chain stops so the loop can terminate.
+                if cursor < trace_n or total_queued > 0 or running or events:
+                    heapq.heappush(
+                        events, (now + el_interval_ns, _SCALE, seq, None)
+                    )
+                    seq += 1
+            else:  # _SCALE: provisioned capacity arriving
+                # Activate the lowest parked chips (the prefix invariant
+                # makes that id exactly n_active).  Chips a later drain
+                # decision cancelled while they were en route are simply
+                # not activated; a still-draining chip flips back to
+                # accepting work — it never parked, so the serving count
+                # is untouched.
+                for _ in range(payload):
+                    if el_cancel > 0:
+                        el_cancel -= 1
+                        continue
+                    chip = n_active
+                    active[chip] = True
+                    n_active += 1
+                    el_pending -= 1
+                    if chip in draining:
+                        draining.discard(chip)
+                    else:
+                        n_serving += 1
+                        el_timeline.append((now, n_serving))
+                        mark_free(chip)
             if dirty:
                 dispatch(now)
 
@@ -1113,6 +1319,16 @@ class ServingEngine:
             raise RuntimeError(f"{leftover} requests never dispatched")
         served.sort(key=lambda s: (s.request.arrival_ns, s.request.request_id))
         rejected.sort(key=lambda r: (r.reject_ns, r.request.request_id))
+        elastic_trace = None
+        if el_on:
+            elastic_trace = ElasticTrace(
+                n_fleet=cluster.n_chips,
+                min_chips=el_lo,
+                max_chips=el_hi,
+                actions=tuple(el_actions),
+                timeline=tuple(el_timeline),
+                horizon_ns=makespan,
+            )
         return ServingResult(
             served=tuple(served),
             n_chips=cluster.n_chips,
@@ -1128,6 +1344,7 @@ class ServingEngine:
             scheduler=tenancy.scheduler if tenancy is not None else None,
             tenants=tenancy.names if tenancy is not None else (),
             preempted=tuple(preempted),
+            elastic=elastic_trace,
             stream=stream,
         )
 

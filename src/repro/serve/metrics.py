@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.experiments.report import format_table
 from repro.serve.cluster import Cluster
+from repro.serve.elastic import ElasticTrace
 from repro.serve.engine import ServingResult
 from repro.serve.power import PowerTrace
 from repro.serve.tenancy import TenancyConfig, deadline_ns
@@ -189,6 +190,11 @@ class ServingReport:
     scheduler: Optional[str] = None
     n_preemptions: int = 0
     preempted_wasted_ms: float = 0.0
+    # Elastic-fleet scaling history (has_elastic gates the report line;
+    # inelastic runs — including the full-fleet static band, which the
+    # engine collapses to the legacy path — keep the format byte for
+    # byte).
+    elastic: Optional[ElasticTrace] = None
 
     @property
     def has_tokens(self) -> bool:
@@ -244,6 +250,11 @@ class ServingReport:
     def has_chip_types(self) -> bool:
         """Is this a genuinely mixed fleet worth a per-type breakdown?"""
         return len(self.per_chip_type) > 1
+
+    @property
+    def has_elastic(self) -> bool:
+        """Did the run carry an autoscaling contract that could act?"""
+        return self.elastic is not None
 
     @property
     def has_power(self) -> bool:
@@ -630,6 +641,7 @@ def summarize(
         scheduler=result.scheduler,
         n_preemptions=result.n_preemptions,
         preempted_wasted_ms=result.preempted_wasted_ns * 1e-6,
+        elastic=result.elastic,
     )
 
 
@@ -678,6 +690,16 @@ def format_serving(report: ServingReport) -> str:
             f"{len(report.per_tenant)} tenants — "
             f"{report.n_preemptions} preemptions "
             f"({report.preempted_wasted_ms:.3f} ms wasted)"
+        )
+    if report.has_elastic:
+        et = report.elastic
+        lines.append(
+            f"autoscaling       : {et.min_serving}..{et.max_serving} of "
+            f"{et.n_fleet} chips (band {et.min_chips}..{et.max_chips}), "
+            f"{et.n_scale_ups} ups / {et.n_drains} drains — "
+            f"{et.chip_seconds * 1e3:.3f} chip-ms vs "
+            f"{et.static_chip_seconds * 1e3:.3f} static "
+            f"({100 * et.chip_seconds_saved:.1f} % saved)"
         )
     if report.has_tokens:
         lines += [

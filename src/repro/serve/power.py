@@ -451,6 +451,19 @@ class PowerGovernor:
             return service.latency_ns
         return service.latency_ns * factor
 
+    def over_cap(self) -> bool:
+        """Is any group currently drawing over its pooled cap?
+
+        The elastic controller's scale-up veto: adding parallel batches
+        to an over-cap group deepens the DVFS throttle instead of adding
+        goodput, so capacity additions wait until the draw falls back
+        under budget.  Always ``False`` for an uncapped config.
+        """
+        return any(
+            g.cap_w is not None and g.power_w > g.cap_w * (1.0 + _CAP_EPS)
+            for g in self._groups
+        )
+
     def admit(
         self, chip_id: int, now_ns: float, service: "ChipService"
     ) -> float:

@@ -6,7 +6,9 @@ A :class:`StreamingMetrics` accumulator replaces the engine's retained
 scalar roll-ups (count, energy, tokens, batches).  A million-request run
 then carries one 8-byte float per request instead of one Python object —
 megabytes instead of gigabytes — and :func:`repro.serve.metrics.summarize`
-builds its report straight from the cells.
+builds its report straight from the cells.  :meth:`latencies_ms` returns
+an independent copy of the matching cells' latencies — never a live view
+of an internal buffer — so callers may hold it across later completions.
 
 Exactness contract: the simulation itself is bit-identical in streaming
 mode (every dispatch, every float).  Latency *percentiles* (p50/p95/p99,
@@ -179,9 +181,13 @@ class StreamingMetrics:
     ) -> "np.ndarray":
         """Concatenated latency column across the matching cells.
 
-        Zero-copy views of the cell buffers feed one ``concatenate``; the
-        result is the exact latency multiset retained mode would hold
-        (order differs — completion-grouped, not arrival-sorted).
+        The result is the exact latency multiset retained mode would hold
+        (order differs — completion-grouped, not arrival-sorted).  The
+        returned array is always an independent **copy**: a zero-copy view
+        of a live cell buffer would pin the underlying ``array('d')``
+        exports, and the next completion's ``append`` would then raise
+        ``BufferError`` under any caller still holding the view (progress
+        callbacks, dashboards polling mid-run).
         """
         parts: List[np.ndarray] = [
             np.frombuffer(cell.lat_ms, dtype=np.float64)
@@ -193,7 +199,9 @@ class StreamingMetrics:
         if not parts:
             return np.empty(0, dtype=np.float64)
         if len(parts) == 1:
-            return parts[0]
+            # concatenate below already copies; the single-part fast path
+            # must copy too, or it leaks a live view of the cell buffer.
+            return parts[0].copy()
         return np.concatenate(parts)
 
     def rolling_p99_ms(self) -> float:
@@ -220,7 +228,13 @@ class StreamingMetrics:
     # -- progress -------------------------------------------------------
 
     def _emit(self) -> None:
-        self._next_emit += self._every
+        # Jump to the first boundary strictly past n_served: a single
+        # large batch can cross several progress boundaries at once, and
+        # advancing by exactly one period would then fire a burst of
+        # back-to-back emits on the following observes.
+        self._next_emit = (
+            self.n_served - self.n_served % self._every + self._every
+        )
         line = (
             f"[stream] served={self.n_served:>9d}  "
             f"rolling p99={self.rolling_p99_ms():.4f} ms"

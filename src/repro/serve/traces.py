@@ -132,12 +132,19 @@ def diurnal_trace(
     seed: int = 0,
     amplitude: float = 0.5,
     period_s: float = 0.1,
+    phase: float = 0.0,
 ) -> Trace:
     """Sinusoidal rate ``rps * (1 + amplitude * sin)`` via thinning.
 
     Lewis-Shedler thinning: sample a homogeneous Poisson stream at the peak
     rate and accept each arrival with probability ``rate(t) / peak``.  A
     24-hour cycle is compressed into ``period_s`` of simulated time.
+
+    ``phase`` shifts the sinusoid by that fraction of a period (0.25 = a
+    quarter day ahead) — the knob multi-region scenarios use to stagger
+    each region's local daytime.  ``phase=0.0`` adds an exact ``+ 0.0``
+    inside the sine argument, so the default trace is bit-identical to
+    the pre-phase generator (golden-guarded).
     """
     _check_rate(rps, duration_s)
     if not 0.0 <= amplitude <= 1.0:
@@ -146,10 +153,15 @@ def diurnal_trace(
     horizon_ns = duration_s * 1e9
     peak = rps * (1.0 + amplitude)
     gap_ns = 1e9 / peak
+    phase_rad = 2.0 * math.pi * phase
     arrivals: List[float] = []
     t = rng.exponential(gap_ns)
     while t < horizon_ns:
-        rate = rps * (1.0 + amplitude * math.sin(2.0 * math.pi * t / (period_s * 1e9)))
+        rate = rps * (
+            1.0
+            + amplitude
+            * math.sin(2.0 * math.pi * t / (period_s * 1e9) + phase_rad)
+        )
         if rng.random() <= rate / peak:
             arrivals.append(t)
         t += rng.exponential(gap_ns)
@@ -159,7 +171,10 @@ def diurnal_trace(
 def uniform_trace(model: str, rps: float, duration_s: float) -> Trace:
     """Deterministic, evenly spaced arrivals — the replayable fixed load."""
     _check_rate(rps, duration_s)
-    n = int(rps * duration_s)
+    # round, not int: float truncation of the product dropped the final
+    # arrival whenever rps * duration_s landed an ULP under an integer
+    # (0.29 * 100.0 -> 28.999... -> 28 requests instead of 29).
+    n = round(rps * duration_s)
     gap_ns = 1e9 / rps
     horizon_ns = duration_s * 1e9
     # gap * n can land one ULP past the horizon (e.g. rps=7000 over

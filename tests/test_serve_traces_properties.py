@@ -23,6 +23,7 @@ from repro.serve import (
     make_trace,
     merge_traces,
     sample_seqlens,
+    uniform_trace,
 )
 
 #: Rates/durations sized so every (kind, rps, duration) pair yields enough
@@ -69,6 +70,42 @@ class TestArrivalInvariants:
         a = make_trace(kind, "m", rps=rps, duration_s=duration, seed=seed)
         b = make_trace(kind, "m", rps=rps, duration_s=duration, seed=seed)
         assert a == b
+
+
+class TestUniformCount:
+    """The deterministic generator owes exactly round(rps * duration).
+
+    ``int()`` of the product used to drop the final arrival whenever
+    float rounding landed it an ULP under an integer (0.29 * 100.0 ->
+    28.999... -> 28 requests instead of 29).
+    """
+
+    @given(
+        rps=st.floats(1.0, 20000.0),
+        duration=st.floats(0.001, 0.5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_count_is_rounded_product(self, rps, duration):
+        trace = uniform_trace("m", rps, duration)
+        assert len(trace) == round(rps * duration)
+
+    def test_ulp_under_integer_regression(self):
+        # 0.29 * 100.0 == 28.999999999999996: truncation shed a request.
+        assert 0.29 * 100.0 < 29.0
+        assert len(uniform_trace("m", 0.29, 100.0)) == 29
+        # 0.7 * 10 == 6.999999999999999: same shape, different scale.
+        assert len(uniform_trace("m", 0.7, 10.0)) == 7
+
+    def test_exact_products_unchanged(self):
+        # The call-site products the serving goldens rest on are exact
+        # floats, so the int -> round change must not move them.
+        for rps, duration, n in (
+            (1000.0, 0.01, 10),
+            (100.0, 0.01, 1),
+            (100.0, 0.05, 5),
+            (1000.0, 0.02, 20),
+        ):
+            assert len(uniform_trace("m", rps, duration)) == n
 
 
 class TestModelIndependence:
