@@ -32,7 +32,9 @@ Run:  python examples/serving_campaign.py [model] [chips] [seqlen_dist]
       e.g. python examples/serving_campaign.py gpt_large 4 lognormal
 """
 
+import pathlib
 import sys
+import tempfile
 
 from repro.baselines import isaac_spec, raella_spec, timely_spec
 from repro.experiments.report import format_ratio, format_table, section
@@ -47,6 +49,7 @@ from repro.serve import (
     estimated_saturation_clients,
     simulate_regions,
     simulate_serving,
+    summarize_trace,
 )
 
 SPECS = {
@@ -137,6 +140,7 @@ def main() -> None:
     power_envelope_scenario(model, chips, 1.2 * peak_rps)
     closed_loop_scenario(model, chips)
     multi_tenant_scenario(model, chips, peak_rps)
+    observability_scenario(model, chips, peak_rps)
     follow_the_sun_scenario(model, chips, peak_rps)
 
 
@@ -374,6 +378,107 @@ def multi_tenant_scenario(model, chips, peak_rps):
         "batches are evicted (their wasted service time charged\n"
         "explicitly) whenever waiting would miss chat's deadline, buying\n"
         "nearly the same interactive tail without shedding a request.\n"
+    )
+
+
+def observability_scenario(model, chips, peak_rps):
+    """The noisy-neighbor study re-run with lifecycle tracing on
+    (`repro.serve.observe`).
+
+    The tenancy report says *what* each tenant's latency was; the trace
+    says *where* it was spent.  This scenario replays the
+    strict-priority + preemption contract from the multi-tenant sweep
+    with ``trace_file=`` set, reconstructs the attacker/victim per-phase
+    split (queueing vs service, preempted work burned) from the trace
+    alone via :func:`summarize_trace`, and cross-checks the lane tails
+    against the tenancy report — the trace is a pass-through observer,
+    so the numbers must agree to float equality.
+    """
+    chat_rps = 0.05 * peak_rps
+    bulk_rps = 1.5 * peak_rps
+    base, _ = simulate_serving(
+        [model], n_chips=chips, rps=100.0, duration_s=0.05,
+        max_batch_size=1, window_ms=0.0,
+    )
+    tight_ms = 2.0 * base.per_model[0].p50_ms
+    tenants = (
+        Tenant(
+            "chat", "interactive", weight=4.0, rps=chat_rps,
+            deadline_ms=tight_ms,
+        ),
+        Tenant("bulk", "batch", weight=1.0, rps=bulk_rps),
+    )
+    print(section(
+        f"Observability — the noisy-neighbor run traced "
+        f"(strict-priority + preemption, {chips} YOCO chips)"
+    ))
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = str(pathlib.Path(tmp) / "noisy_neighbor.jsonl")
+        report, result = simulate_serving(
+            [model], n_chips=chips, seed=0, tenants=tenants,
+            scheduler="strict-priority", preemption=True,
+            trace_file=trace_path,
+        )
+        summary = summarize_trace(trace_path)
+    by = {t.tenant: t for t in report.per_tenant}
+    if "chat" not in by or by["chat"].n_requests == 0:
+        print("(load too low for the simulated horizon — no arrivals)\n")
+        return
+    lanes = {lane.tenant: lane for lane in summary.lanes}
+    rows = []
+    for name in ("chat", "bulk"):
+        lane = lanes[name]
+        rows.append(
+            (
+                name,
+                lane.n,
+                f"{lane.queue_p99_ms:.3f}",
+                f"{lane.service_p99_ms:.3f}",
+                f"{lane.p99_ms:.3f}",
+                f"{lane.wasted_ms:.3f}",
+                lane.n_preempted,
+            )
+        )
+    print(format_table(
+        ("tenant", "served", "queue p99 ms", "service p99 ms",
+         "total p99 ms", "wasted ms", "preempted"),
+        rows,
+    ))
+    checks = []
+    for name in ("chat", "bulk"):
+        lane, rep = lanes[name], by[name]
+        ok = lane.p50_ms == rep.p50_ms and lane.p99_ms == rep.p99_ms
+        checks.append(
+            f"  {name}: trace p50/p99 = {lane.p50_ms:.3f}/{lane.p99_ms:.3f} ms, "
+            f"report = {rep.p50_ms:.3f}/{rep.p99_ms:.3f} ms -> "
+            f"{'match' if ok else 'MISMATCH'}"
+        )
+        if not ok:
+            raise SystemExit(
+                f"trace-summary disagrees with the tenancy report for {name}"
+            )
+    preempts_ok = (
+        sum(lane.n_preempted for lane in summary.lanes) == result.n_preemptions
+    )
+    checks.append(
+        f"  preemptions: trace = "
+        f"{sum(lane.n_preempted for lane in summary.lanes)}, "
+        f"engine = {result.n_preemptions} -> "
+        f"{'match' if preempts_ok else 'MISMATCH'}"
+    )
+    print(
+        f"trace: {summary.n_events} events over "
+        f"{summary.makespan_ns * 1e-6:.2f} ms simulated\n"
+        "cross-check against the tenancy report (float equality):"
+    )
+    print("\n".join(checks))
+    print(
+        "\nThe report alone shows chat's p99 holding near its deadline;\n"
+        "the trace shows *why*: nearly all of bulk's tail is queueing\n"
+        "(service time is flat), and the wasted-ms column charges the\n"
+        "service each preempted bulk batch burned before eviction to the\n"
+        "lane that lost it.  The same file drives `repro trace-summary`\n"
+        "and, written as .json, opens in Perfetto.\n"
     )
 
 

@@ -59,6 +59,17 @@ of lower-priority batches:
         --scheduler weighted-fair
     python -m repro serve --model resnet18 --chips 2 --preempt \
         --tenants "chat:interactive:poisson@500,scrape:best-effort:bursty@8000:rate=2000"
+
+``--trace-out`` / ``--metrics-out`` / ``--profile-engine`` observe a run
+(:mod:`repro.serve.observe`) without changing it: lifecycle traces as
+JSONL or Perfetto-loadable Chrome JSON, windowed time-series CSV, and
+the engine's own event-loop profile.  ``trace-summary`` reconstructs
+per-phase latency (queue vs service vs preemption-wasted) from a trace:
+
+    python -m repro serve --model resnet18 --rps 2000 --trace-out run.jsonl
+    python -m repro trace-summary run.jsonl
+    python -m repro serve --model resnet18 --rps 2000 \
+        --trace-out run.json --metrics-out run.csv:0.5 --profile-engine
 """
 
 from __future__ import annotations
@@ -93,14 +104,17 @@ from repro.serve import (
     THINK_DISTS,
     TRACE_KINDS,
     StreamingMetrics,
+    format_engine_profile,
     format_regions,
     format_serving,
+    format_trace_summary,
     parse_admission,
     parse_autoscale,
     parse_fleet,
     parse_tenants,
     simulate_regions,
     simulate_serving,
+    summarize_trace,
 )
 
 
@@ -124,6 +138,29 @@ def _parse_buckets(text: Optional[str]) -> Optional[List[int]]:
             f"boundaries, got {text!r}"
         )
     return buckets
+
+
+def _parse_metrics_out(text: Optional[str]):
+    """'--metrics-out FILE[:WINDOW_MS]' -> (path, window_ms)."""
+    if text is None:
+        return None, 1.0
+    path, window_ms = text, 1.0
+    if ":" in text:
+        head, tail = text.rsplit(":", 1)
+        try:
+            window_ms = float(tail)
+        except ValueError:
+            pass  # a path with a colon in it, not a window suffix
+        else:
+            path = head
+    if not window_ms > 0:
+        raise SystemExit(
+            f"--metrics-out window must be a positive number of "
+            f"milliseconds, got {text!r}"
+        )
+    if not path:
+        raise SystemExit(f"--metrics-out needs a file path, got {text!r}")
+    return path, window_ms
 
 
 def _serve(args: argparse.Namespace) -> str:
@@ -193,6 +230,7 @@ def _serve(args: argparse.Namespace) -> str:
                 "--autoscale cannot combine with --preempt (parked chips "
                 "look permanently free to the deadline probe)"
             )
+    metrics_file, metrics_window_ms = _parse_metrics_out(args.metrics_out)
     if args.regions is not None:
         if args.regions < 1:
             raise SystemExit("--regions must be >= 1")
@@ -205,6 +243,9 @@ def _serve(args: argparse.Namespace) -> str:
             ("--power-cap/--t-max",
              args.power_cap is not None or args.t_max is not None),
             ("--progress", args.progress is not None),
+            ("--trace-out", args.trace_out is not None),
+            ("--metrics-out", metrics_file is not None),
+            ("--profile-engine", args.profile_engine),
         ):
             if present:
                 raise SystemExit(
@@ -239,7 +280,7 @@ def _serve(args: argparse.Namespace) -> str:
         if args.progress < 1:
             raise SystemExit("--progress must be >= 1")
         stream = StreamingMetrics(progress_every=args.progress)
-    report, _ = simulate_serving(
+    report, result = simulate_serving(
         models,
         n_chips=n_chips,
         rps=args.rps,
@@ -275,6 +316,10 @@ def _serve(args: argparse.Namespace) -> str:
         preemption=args.preempt,
         stream_metrics=stream,
         elastic=elastic,
+        trace_file=args.trace_out,
+        metrics_file=metrics_file,
+        metrics_window_ms=metrics_window_ms,
+        profile_engine=args.profile_engine,
     )
     if args.clients is not None:
         header = (
@@ -309,7 +354,40 @@ def _serve(args: argparse.Namespace) -> str:
         cap = "-" if args.power_cap is None else f"{args.power_cap:g} W/chip"
         t_max = "-" if args.t_max is None else f"{args.t_max:g} C"
         header += f"\npower envelope    : cap {cap}, t-max {t_max}"
-    return header + "\n" + format_serving(report)
+    artifacts = []
+    if args.trace_out is not None:
+        artifacts.append(f"trace -> {args.trace_out}")
+    if metrics_file is not None:
+        artifacts.append(
+            f"metrics -> {metrics_file} ({metrics_window_ms:g} ms windows)"
+        )
+    if artifacts:
+        header += f"\nobservability     : {', '.join(artifacts)}"
+    text = header + "\n" + format_serving(report)
+    if args.profile_engine:
+        text += "\n\nengine profile:\n" + format_engine_profile(result.stats)
+    return text
+
+
+def _trace_summary(args: argparse.Namespace) -> str:
+    if args.file is None:
+        raise SystemExit(
+            "trace-summary needs a trace file: "
+            "repro trace-summary FILE.jsonl "
+            "(write one with repro serve ... --trace-out FILE.jsonl)"
+        )
+    try:
+        summary = summarize_trace(args.file)
+    except FileNotFoundError:
+        raise SystemExit(f"trace-summary: no such file: {args.file}") from None
+    except ValueError as error:
+        raise SystemExit(f"trace-summary: {error}") from None
+    if not summary.lanes:
+        raise SystemExit(
+            f"trace-summary: {args.file} holds no completed requests "
+            f"({summary.n_events} events)"
+        )
+    return format_trace_summary(summary)
 
 
 def _table1(args: argparse.Namespace) -> str:
@@ -376,7 +454,12 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "fig9": _fig9,
     "fig10": _fig10,
     "serve": _serve,
+    "trace-summary": _trace_summary,
 }
+
+#: Commands that post-process a prior run's artifact rather than
+#: regenerate one of the paper's — `repro all` skips them.
+_NOT_IN_ALL = frozenset({"trace-summary"})
 
 _TITLES: Dict[str, str] = {
     "table1": "Table I - ADCs/DACs cost comparison",
@@ -392,6 +475,7 @@ _TITLES: Dict[str, str] = {
     "fig9": "Fig. 9 - DAC/ADC overhead comparison",
     "fig10": "Fig. 10 - attention pipeline speedup",
     "serve": "Serving simulation - request-level cluster model",
+    "trace-summary": "Trace summary - per-phase latency from a lifecycle trace",
 }
 
 
@@ -404,6 +488,13 @@ def build_parser() -> argparse.ArgumentParser:
         "artifact",
         choices=sorted(_COMMANDS) + ["all"],
         help="which table/figure to regenerate ('all' runs everything)",
+    )
+    parser.add_argument(
+        "file",
+        nargs="?",
+        default=None,
+        help="lifecycle trace to read (trace-summary only; the JSONL file "
+        "a serve run wrote via --trace-out)",
     )
     parser.add_argument(
         "--quick",
@@ -608,6 +699,33 @@ def build_parser() -> argparse.ArgumentParser:
         "makes million-request traces cheap on memory",
     )
     serve.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="stream every request-lifecycle event to FILE: JSON Lines "
+        "(read back with repro trace-summary), or Chrome trace_event "
+        "format when FILE ends in .json (open in Perfetto / "
+        "chrome://tracing); the simulation itself is unchanged",
+    )
+    serve.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        metavar="FILE[:WINDOW_MS]",
+        help="sample windowed time-series metrics (throughput, queue "
+        "depth, utilization, power, p50/p99) every WINDOW_MS simulated "
+        "ms (default 1) and write them to FILE as CSV, or JSON for "
+        ".json paths",
+    )
+    serve.add_argument(
+        "--profile-engine",
+        action="store_true",
+        help="count the engine's own event-loop work (events by kind, "
+        "dispatch-scan lengths, heap high-water) and append the profile "
+        "to the report",
+    )
+    serve.add_argument(
         "--mode",
         choices=MODES,
         default="batched",
@@ -624,7 +742,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    names = sorted(_COMMANDS) if args.artifact == "all" else [args.artifact]
+    if args.artifact == "all":
+        names = [n for n in sorted(_COMMANDS) if n not in _NOT_IN_ALL]
+    else:
+        names = [args.artifact]
     for name in names:
         print(section(_TITLES[name]))
         print(_COMMANDS[name](args))

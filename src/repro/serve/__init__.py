@@ -105,6 +105,8 @@ from repro.serve.elastic import (
 )
 from repro.serve.engine import (
     ROUTING_POLICIES,
+    EngineProfile,
+    EngineStats,
     RejectedRequest,
     ServedRequest,
     ServingEngine,
@@ -119,6 +121,20 @@ from repro.serve.fleet import (
     fleet_group,
     homogeneous_fleet,
     parse_fleet,
+)
+from repro.serve.observe import (
+    ChromeTraceSink,
+    JsonlTraceSink,
+    MetricsRecorder,
+    MultiObserver,
+    Observer,
+    PhaseStats,
+    TraceSummary,
+    compose_observers,
+    format_engine_profile,
+    format_trace_summary,
+    lifecycle_tracer,
+    summarize_trace,
 )
 from repro.serve.metrics import (
     ChipTypeStats,
@@ -192,6 +208,7 @@ __all__ = [
     "ChipPlan",
     "ChipService",
     "ChipTypeStats",
+    "ChromeTraceSink",
     "ClientPopulation",
     "ClosedLoopDriver",
     "Cluster",
@@ -199,13 +216,20 @@ __all__ = [
     "ElasticConfig",
     "ElasticController",
     "ElasticTrace",
+    "EngineProfile",
+    "EngineStats",
     "FleetGroup",
     "FleetSpec",
     "GroupPowerTrace",
+    "JsonlTraceSink",
     "MODES",
+    "MetricsRecorder",
     "ModelQueue",
     "ModelServingStats",
+    "MultiObserver",
+    "Observer",
     "PLACEMENTS",
+    "PhaseStats",
     "FifoScheduler",
     "PowerConfig",
     "PowerGovernor",
@@ -236,6 +260,7 @@ __all__ = [
     "THINK_DISTS",
     "TRACE_KINDS",
     "Tenant",
+    "TraceSummary",
     "TenancyConfig",
     "TenantStats",
     "TenantTokenBucket",
@@ -247,6 +272,7 @@ __all__ = [
     "bucket_for",
     "bursty_trace",
     "chip_spec",
+    "compose_observers",
     "deadline_ns",
     "default_buckets",
     "diurnal_trace",
@@ -256,9 +282,12 @@ __all__ = [
     "fleet_cost_table",
     "fleet_group",
     "follow_the_sun",
+    "format_engine_profile",
     "format_regions",
     "format_serving",
+    "format_trace_summary",
     "homogeneous_fleet",
+    "lifecycle_tracer",
     "lognormal_seqlens",
     "longtail_seqlens",
     "make_scheduler",
@@ -276,6 +305,7 @@ __all__ = [
     "simulate_regions",
     "simulate_serving",
     "summarize",
+    "summarize_trace",
     "tenant_traces",
     "uniform_seqlens",
     "uniform_trace",
@@ -320,6 +350,11 @@ def simulate_serving(
     preemption_overhead_ns: float = 10_000.0,
     stream_metrics: Optional[StreamingMetrics] = None,
     elastic: Optional[Union[ElasticConfig, str]] = None,
+    observe: Optional[Observer] = None,
+    trace_file: Optional[str] = None,
+    metrics_file: Optional[str] = None,
+    metrics_window_ms: float = 1.0,
+    profile_engine: bool = False,
 ) -> Tuple[ServingReport, ServingResult]:
     """End-to-end serving run: build trace + cluster, simulate, summarize.
 
@@ -416,6 +451,20 @@ def simulate_serving(
     static peak provisioning.  A static band spanning the whole fleet
     replays the inelastic run byte for byte (golden-guarded); elastic
     runs cannot combine with ``preemption``.
+
+    Observability (:mod:`repro.serve.observe`) is opt-in and an exact
+    pass-through — with all of it off the engine takes no extra
+    branches, and with it on the :class:`ServingResult` is
+    object-for-object identical (golden-guarded).  ``trace_file`` writes
+    every request-lifecycle event to that path as streamed JSONL, or as
+    Chrome ``trace_event`` JSON when the path ends in ``.json`` (opens
+    directly in Perfetto).  ``metrics_file`` samples throughput, queue
+    depth, utilization and power on a fixed ``metrics_window_ms`` grid
+    and writes CSV (or JSON for ``.json`` paths).  ``observe`` attaches
+    any additional :class:`~repro.serve.observe.Observer`; all active
+    observers compose.  ``profile_engine`` makes the engine count its
+    own event-loop work (events popped by kind, dispatch-scan lengths,
+    heap high-water) on ``result.stats.profile``.
     """
     if not models:
         raise ValueError("need at least one model to serve")
@@ -605,6 +654,14 @@ def simulate_serving(
             admission = TenantTokenBucket(limits, inner=inner)
     if isinstance(elastic, str):
         elastic = parse_autoscale(elastic)
+    observers = [] if observe is None else [observe]
+    if trace_file is not None:
+        observers.append(lifecycle_tracer(trace_file))
+    recorder: Optional[MetricsRecorder] = None
+    if metrics_file is not None:
+        recorder = MetricsRecorder(metrics_window_ms, path=metrics_file)
+        observers.append(recorder)
+    obs = compose_observers(observers)
     engine = ServingEngine(
         cluster,
         policy,
@@ -613,7 +670,10 @@ def simulate_serving(
         admission=admission,
         tenancy=tenancy,
         elastic=elastic,
+        profile=profile_engine,
     )
-    result = engine.run(trace, clients=population, stream=stream_metrics)
+    result = engine.run(
+        trace, clients=population, stream=stream_metrics, observe=obs
+    )
     report = summarize(result, cluster, slo_ms=slo_ms, tenancy=tenancy)
     return report, result

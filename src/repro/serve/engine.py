@@ -174,6 +174,24 @@ class _InFlight:
 
 
 @dataclasses.dataclass(frozen=True)
+class EngineProfile:
+    """Self-profile of one run (``ServingEngine(profile=True)``).
+
+    Deterministic like every :class:`EngineStats` counter — no wall
+    clock — so a profile diff between two commits is a real hot-path
+    diff, not noise.  ``events_by_kind`` counts heap/cursor pops per
+    event kind; ``dispatch_scan_hist`` maps dirty-set size to how many
+    scan rounds saw it (the pre-PR 7 every-slot scan shows up here as a
+    fat tail); ``heap_peak`` is the event-heap high-water mark observed
+    at pops.
+    """
+
+    events_by_kind: Tuple[Tuple[str, int], ...]
+    dispatch_scan_hist: Tuple[Tuple[int, int], ...]
+    heap_peak: int
+
+
+@dataclasses.dataclass(frozen=True)
 class EngineStats:
     """Hot-path instrumentation of one :meth:`ServingEngine.run`.
 
@@ -182,14 +200,17 @@ class EngineStats:
     ``n_slot_scans`` is the total number of (tenant, model) slot
     examinations the dispatch scan performed — the quantity that used to
     grow as events x slots and must now grow linearly with the event
-    count.  The counters live outside :class:`ServingResult` so result
-    equality and the golden digests are untouched.
+    count.  The counters also ride on :attr:`ServingResult.stats` as a
+    non-comparing field, so result equality and the golden digests are
+    untouched.  ``profile`` carries the per-event-kind breakdown when
+    the engine ran with ``profile=True`` (``--profile-engine``).
     """
 
     n_events: int  # heap/cursor events processed (arrivals incl.)
     n_dispatch_rounds: int  # dispatch invocations that examined >= 1 slot
     n_slot_scans: int  # slot examinations across all dispatch rounds
     n_batches: int
+    profile: Optional[EngineProfile] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -229,6 +250,14 @@ class ServingResult:
     #: roll-ups live on compact per-(model, tenant, chip-type) buffers
     #: instead of per-request objects.  ``None`` on the retained path.
     stream: Optional["StreamingMetrics"] = dataclasses.field(
+        default=None, compare=False
+    )
+    #: The run's :class:`EngineStats` (always populated by the engine;
+    #: ``None`` only on hand-built results).  Non-comparing: two runs
+    #: that served identically are equal even if one was profiled or
+    #: observed — the observability contract the differential suite
+    #: pins.
+    stats: Optional[EngineStats] = dataclasses.field(
         default=None, compare=False
     )
 
@@ -394,6 +423,7 @@ class ServingEngine:
         admission: Optional[Union[str, AdmissionPolicy]] = None,
         tenancy: Optional[TenancyConfig] = None,
         elastic: Optional[ElasticConfig] = None,
+        profile: bool = False,
     ) -> None:
         if routing not in ROUTING_POLICIES:
             raise ValueError(
@@ -424,6 +454,10 @@ class ServingEngine:
         self._admission = admission
         self._tenancy = tenancy
         self._elastic = elastic
+        #: Collect the per-event-kind :class:`EngineProfile` during runs
+        #: (``--profile-engine``); off by default — the hot loop then
+        #: pays nothing beyond one falsy branch per event.
+        self._profile = profile
         #: Instrumentation of the most recent :meth:`run` (scaling
         #: guard-rails); ``None`` until a run completes.
         self.last_stats: Optional[EngineStats] = None
@@ -461,6 +495,7 @@ class ServingEngine:
         trace: Sequence[Request] = (),
         clients: Optional[ClientPopulation] = None,
         stream: Optional["StreamingMetrics"] = None,
+        observe=None,
     ) -> ServingResult:
         """Simulate the whole trace to completion (closed horizon).
 
@@ -474,8 +509,24 @@ class ServingEngine:
         so a million-request run holds megabytes instead of gigabytes.
         The simulation itself — every dispatch, every float — is
         identical; only the result representation changes.
+
+        ``observe`` attaches a :class:`repro.serve.observe.Observer`
+        (lifecycle tracer, metrics recorder, or a fan-out of several):
+        the hooks are exact pass-throughs on both the general and turbo
+        paths — the result with observers on is object-for-object the
+        result with observers off.
         """
         cluster, policy = self._cluster, self._policy
+        if stream is not None:
+            # A zero/negative cadence would divide by zero (or spin) in
+            # the emit scheduler; fail it at the entry point, not after
+            # the run has streamed half its completions.
+            every = getattr(stream, "_every", 0)
+            if every and every < 1:
+                raise ValueError(
+                    "stream_metrics progress period must be a positive "
+                    f"request count, got {every!r}"
+                )
         # Materialize exactly once.  The old code iterated ``trace`` twice
         # (validation, then heap fill): a generator trace validated fine
         # and then silently simulated zero requests.
@@ -588,7 +639,7 @@ class ServingEngine:
             # id, so the whole event loop specializes to a per-batch walk
             # (see _run_turbo).  Bit-identical to the general path —
             # golden-guarded through the homogeneous differential cases.
-            return self._run_turbo(trace, stream, clients)
+            return self._run_turbo(trace, stream, clients, observe)
         # One queue per (tenant, model) slot.  Without tenancy there is a
         # single anonymous tenant "", so the slot list — and the dispatch
         # scan order below — collapses to the legacy per-model layout.
@@ -745,6 +796,20 @@ class ServingEngine:
         n_slot_scans = 0
         if stream is not None:
             stream._begin_run(cluster, policy)
+        # Observability: one local, one `is not None` branch per hook
+        # site — with observers off the loop below runs the exact
+        # pre-observability instruction stream.  Hooks only *read* state,
+        # so the observed run's result is object-for-object identical.
+        obs = observe
+        if obs is not None:
+            obs.begin(cluster, policy)
+            if governor is not None:
+                governor.on_throttle = obs.throttle
+        # Self-profiling (off by default: one falsy branch per event).
+        profiling = self._profile
+        kind_counts = [0, 0, 0, 0]
+        heap_peak = 0
+        scan_sizes: Dict[int, int] = {}
 
         events: List[tuple] = []
         # The merged arrival cursor: open-loop arrivals stay in the
@@ -895,6 +960,11 @@ class ServingEngine:
             heapq.heappush(events, (finish, _COMPLETION, seq, inflight))
             seq += 1
             n_batches += 1
+            if obs is not None:
+                obs.dispatch(
+                    now, chip, model, tenant, batch.requests, finish,
+                    overhead_ns,
+                )
 
         def dispatch(now: float) -> None:
             """Scan the dirty slots (ascending index) and dispatch winners.
@@ -911,6 +981,9 @@ class ServingEngine:
             nonlocal seq, n_dispatch_rounds, n_slot_scans
             n_dispatch_rounds += 1
             while True:
+                if profiling:
+                    size = len(dirty)
+                    scan_sizes[size] = scan_sizes.get(size, 0) + 1
                 # The scheduler ranks every ready (tenant, model) queue;
                 # under fifo the key collapses to (oldest arrival, slot
                 # index) — FCFS across queues, the legacy rule, so no
@@ -1050,6 +1123,12 @@ class ServingEngine:
                     by_tenant=request.tenant,
                 )
             )
+            if obs is not None:
+                obs.preempt(
+                    now, chip, victim.batch.model, victim.batch.tenant,
+                    victim.batch.requests, wasted, request.tenant,
+                    victim.finish_ns,
+                )
             chip_free[chip] = now
             # Rebalance the free index across the free-then-recommit pair
             # (the immediate commit below marks it busy again); the dirty
@@ -1090,6 +1169,10 @@ class ServingEngine:
             else:
                 break
             n_events += 1
+            if profiling:
+                kind_counts[kind] += 1
+                if len(events) > heap_peak:
+                    heap_peak = len(events)
             if free_heap and free_heap[0][0] <= now:
                 # Drain chips whose batches have finished by now into the
                 # free index (stale entries — preempted-then-recommitted
@@ -1106,14 +1189,20 @@ class ServingEngine:
                             draining.discard(chip)
                             n_serving -= 1
                             el_timeline.append((finish, n_serving))
+                            if obs is not None:
+                                obs.scale(finish, "park", 1)
             if governor is not None:
                 # Power is piecewise constant between events, so advancing
                 # the governor exactly here makes the integration exact.
                 governor.advance(now)
+                if obs is not None:
+                    obs.power(now, governor.current_power_w())
             if kind == _ARRIVAL:
                 request = payload
                 if controller is not None:
                     el_arrivals += 1
+                if obs is not None:
+                    obs.arrival(now, request)
                 if not track_queued and tenancy is None:
                     # Inlined enqueue fast path for the open/plain case:
                     # no admission counters, no tenant backlog — just the
@@ -1124,20 +1213,33 @@ class ServingEngine:
                     was_empty = not queue._size
                     if queue.push(request) >= max_batch or was_empty:
                         dirty.add(index)
+                    if obs is not None:
+                        obs.enqueue(now, request)
                 elif admission is None or admission.admit(
                     request,
                     now,
                     model_queued[request.model],
                     total_queued,
                 ):
+                    if obs is not None:
+                        obs.enqueue(now, request)
                     enqueue(request, now)
                 else:
                     n_rejections += 1
                     if driver is None:
                         # Open loop: nobody retries, the request drops.
                         rejected.append(RejectedRequest(request, now, 1))
+                        if obs is not None:
+                            obs.reject(now, request, True, 1)
                     else:
                         outcome = driver.on_reject(request, now)
+                        if obs is not None:
+                            obs.reject(
+                                now,
+                                request,
+                                outcome.retry is None,
+                                outcome.attempts,
+                            )
                         if outcome.retry is not None:
                             # The retry keeps its original arrival stamp
                             # (latency stays client-perceived across
@@ -1173,6 +1275,16 @@ class ServingEngine:
                 if inflight.finish_ns > makespan:
                     makespan = inflight.finish_ns
                 batch = inflight.batch
+                if obs is not None:
+                    obs.complete(
+                        now,
+                        inflight.chip_id,
+                        batch.model,
+                        batch.tenant,
+                        batch.requests,
+                        inflight.dispatch_ns,
+                        inflight.share_pj,
+                    )
                 if stream is not None:
                     stream._observe(inflight)
                 else:
@@ -1232,6 +1344,8 @@ class ServingEngine:
                             reason=reason,
                         )
                     )
+                    if obs is not None:
+                        obs.scale(now, "up", delta)
                     # Capacity is never instant: the chips activate one
                     # provisioning delay from now, as their own event.
                     heapq.heappush(
@@ -1248,6 +1362,8 @@ class ServingEngine:
                             reason=reason,
                         )
                     )
+                    if obs is not None:
+                        obs.scale(now, "drain", -delta)
                     # Cancel capacity still en route before touching live
                     # chips: the delta is relative to the *provisioned*
                     # count, which may exceed the active count while
@@ -1269,6 +1385,8 @@ class ServingEngine:
                                 free_count[m] -= 1
                             n_serving -= 1
                             el_timeline.append((now, n_serving))
+                            if obs is not None:
+                                obs.scale(now, "park", 1)
                         else:
                             # Busy: finishes its in-flight batch first
                             # (parked by the free-heap drain above once
@@ -1305,6 +1423,8 @@ class ServingEngine:
                         n_serving += 1
                         el_timeline.append((now, n_serving))
                         mark_free(chip)
+                        if obs is not None:
+                            obs.scale(now, "activate", 1)
             if dirty:
                 dispatch(now)
 
@@ -1313,7 +1433,23 @@ class ServingEngine:
             n_dispatch_rounds=n_dispatch_rounds,
             n_slot_scans=n_slot_scans,
             n_batches=n_batches,
+            profile=(
+                EngineProfile(
+                    events_by_kind=(
+                        ("completion", kind_counts[_COMPLETION]),
+                        ("arrival", kind_counts[_ARRIVAL]),
+                        ("window", kind_counts[_WINDOW]),
+                        ("scale", kind_counts[_SCALE]),
+                    ),
+                    dispatch_scan_hist=tuple(sorted(scan_sizes.items())),
+                    heap_peak=heap_peak,
+                )
+                if profiling
+                else None
+            ),
         )
+        if obs is not None:
+            obs.finish(makespan)
         leftover = sum(len(q) for q in queues.values())
         if leftover:
             raise RuntimeError(f"{leftover} requests never dispatched")
@@ -1346,6 +1482,7 @@ class ServingEngine:
             preempted=tuple(preempted),
             elastic=elastic_trace,
             stream=stream,
+            stats=self.last_stats,
         )
 
     def _run_turbo(
@@ -1353,6 +1490,7 @@ class ServingEngine:
         trace: Tuple[Request, ...],
         stream: Optional["StreamingMetrics"],
         clients: Optional[ClientPopulation],
+        observe=None,
     ) -> ServingResult:
         """Single-slot fast path: one model, uniform hosts, plain serving.
 
@@ -1381,6 +1519,11 @@ class ServingEngine:
         model = cluster.models[0]
         if stream is not None:
             stream._begin_run(cluster, policy)
+        obs = observe
+        if obs is not None:
+            obs.begin(cluster, policy)
+        profiling = self._profile
+        heap_peak = 0
         n = len(trace)
         arr = [r.arrival_ns for r in trace]
         B = policy.max_batch_size
@@ -1416,7 +1559,7 @@ class ServingEngine:
 
         def pump(now: float) -> None:
             """The dispatch scan, specialized to the single slot."""
-            nonlocal head, armed, cseq, n_rounds, n_scans, n_batches
+            nonlocal head, armed, cseq, n_rounds, n_scans, n_batches, heap_peak
             n_rounds += 1
             while True:
                 n_scans += 1
@@ -1455,6 +1598,13 @@ class ServingEngine:
                 )
                 cseq += 1
                 n_batches += 1
+                if obs is not None:
+                    obs.dispatch(
+                        now, chip, model, "", trace[head : head + take],
+                        finish, 0.0,
+                    )
+                if profiling and len(busy) > heap_peak:
+                    heap_peak = len(busy)
                 head += take
 
         while i < n or busy or head < i:
@@ -1475,6 +1625,11 @@ class ServingEngine:
                     rec = recs[ri]
                     chip_busy[chip] += rec[6]
                     completion_order.append(ri)
+                    if obs is not None:
+                        obs.complete(
+                            rec[4], chip, model, "", trace[rec[0] : rec[1]],
+                            rec[3], rec[5],
+                        )
                     if stream is not None:
                         a, b = rec[0], rec[1]
                         lat = (rec[4] - arr_np[a:b]) * 1e-6
@@ -1500,6 +1655,10 @@ class ServingEngine:
                 pump(now)
             elif t_a <= t_w:
                 was_empty = head == i
+                if obs is not None:
+                    request = trace[i]
+                    obs.arrival(t_a, request)
+                    obs.enqueue(t_a, request)
                 i += 1
                 n_events += 1
                 if was_empty or i - head >= B:
@@ -1514,6 +1673,10 @@ class ServingEngine:
                     while i < cap:
                         a = arr[i]
                         if a < t_c and a <= t_w:
+                            if obs is not None:
+                                request = trace[i]
+                                obs.arrival(a, request)
+                                obs.enqueue(a, request)
                             i += 1
                             n_events += 1
                         else:
@@ -1529,7 +1692,27 @@ class ServingEngine:
             n_dispatch_rounds=n_rounds,
             n_slot_scans=n_scans,
             n_batches=n_batches,
+            profile=(
+                # Event kinds are derivable: one completion event per
+                # batch, one arrival event per request, the remainder
+                # window firings; every dispatch round examines the one
+                # dirty slot, so the scan histogram is a single bucket.
+                EngineProfile(
+                    events_by_kind=(
+                        ("completion", n_batches),
+                        ("arrival", n),
+                        ("window", n_events - n - n_batches),
+                        ("scale", 0),
+                    ),
+                    dispatch_scan_hist=((1, n_rounds),),
+                    heap_peak=heap_peak,
+                )
+                if profiling
+                else None
+            ),
         )
+        if obs is not None:
+            obs.finish(makespan)
         if head != n:
             raise RuntimeError(f"{n - head} requests never dispatched")
         served: List[ServedRequest] = []
@@ -1567,4 +1750,5 @@ class ServingEngine:
             tenants=(),
             preempted=(),
             stream=stream,
+            stats=self.last_stats,
         )

@@ -347,10 +347,20 @@ class PowerGovernor:
                 )
             )
         self._t_ns = 0.0
+        #: Optional observer hook ``(t_ns, group_name, engaged)`` fired
+        #: on every throttle engage/release transition (never on a
+        #: re-evaluation that keeps the state).  ``None`` costs one
+        #: falsy check per transition — the integration floats are
+        #: untouched either way.
+        self.on_throttle = None
 
     @property
     def config(self) -> PowerConfig:
         return self._config
+
+    def current_power_w(self) -> float:
+        """Instantaneous fleet draw (idle floors + in-flight batches)."""
+        return sum(g.power_w for g in self._groups)
 
     # -- time integration ----------------------------------------------------------
     def advance(self, now_ns: float) -> None:
@@ -377,10 +387,10 @@ class PowerGovernor:
             group.draw_w -= draw_w
             if not group.inflight or group.draw_w < 0.0:
                 group.draw_w = 0.0  # swallow float residue at drain
-            self._update_throttle(group)
+            self._update_throttle(group, t)
         if now_ns > t:
             self._integrate(group, t, now_ns)
-            self._update_throttle(group)
+            self._update_throttle(group, now_ns)
 
     def _integrate(self, group: _GroupState, t0_ns: float, t1_ns: float) -> None:
         dt_ns = t1_ns - t0_ns
@@ -396,7 +406,7 @@ class PowerGovernor:
         # Exponential decay is monotone within a segment, so checking the
         # endpoint (plus the initial ambient) captures the true peak.
 
-    def _update_throttle(self, group: _GroupState) -> None:
+    def _update_throttle(self, group: _GroupState, t_ns: float) -> None:
         cfg, power = self._config, group.power_w
         if not group.engaged:
             hot_power = (
@@ -408,6 +418,8 @@ class PowerGovernor:
             )
             if hot_power or hot_temp:
                 group.engaged = True
+                if self.on_throttle is not None:
+                    self.on_throttle(t_ns, group.name, True)
             return
         cool_power = (
             group.cap_w is None
@@ -419,6 +431,8 @@ class PowerGovernor:
         )
         if cool_power and cool_temp:
             group.engaged = False
+            if self.on_throttle is not None:
+                self.on_throttle(t_ns, group.name, False)
 
     # -- dispatch-side API ---------------------------------------------------------
     def _factor(self, group: _GroupState, service: "ChipService") -> float:
@@ -484,7 +498,7 @@ class PowerGovernor:
         draw_w = self._model.draw_watts(service.energy_pj, effective_ns)
         heapq.heappush(group.inflight, (now_ns + effective_ns, draw_w))
         group.draw_w += draw_w
-        self._update_throttle(group)
+        self._update_throttle(group, now_ns)
         return effective_ns
 
     # -- roll-up -------------------------------------------------------------------

@@ -21,7 +21,9 @@ import pytest
 from repro.models import get_workload
 from repro.serve import (
     BatchingPolicy,
+    ChromeTraceSink,
     Cluster,
+    JsonlTraceSink,
     ServingEngine,
     StreamingMetrics,
     diurnal_trace,
@@ -290,3 +292,57 @@ class TestTurboDifferential:
         forced, _ = _engine(["resnet18"], routing="round-robin")
         forced._force_general = True
         assert engine.run(trace) == forced.run(trace)
+
+
+class TestTraceSizeGuard:
+    """Lifecycle tracing streams to the sink; nothing accumulates.
+
+    Same guard-rail style as :class:`TestScalingGuardRails` — the sinks
+    carry deterministic counters (``n_events`` / ``bytes_written`` /
+    ``max_open_spans``), so the linearity assertions are exact counting,
+    no wall clock, no RSS sampling.  A million-request trace must cost
+    file bytes, not resident memory.
+    """
+
+    def _traced(self, duration_s, sink):
+        trace = tuple(
+            poisson_trace("resnet18", rps=30_000, duration_s=duration_s, seed=0)
+        )
+        engine, _ = _engine(["resnet18"])
+        engine.run(trace, observe=sink)
+        return len(trace)
+
+    def test_jsonl_bytes_per_request_flat_across_8x(self, tmp_path):
+        """8x the requests => ~8x the bytes; per-request cost is flat."""
+        small = JsonlTraceSink(str(tmp_path / "small.jsonl"))
+        n_small = self._traced(0.02, small)
+        big = JsonlTraceSink(str(tmp_path / "big.jsonl"))
+        n_big = self._traced(0.16, big)
+        assert n_big > 6 * n_small
+        assert big.bytes_written / n_big <= 1.2 * (
+            small.bytes_written / n_small
+        )
+        assert big.n_events / n_big <= 1.2 * (small.n_events / n_small)
+
+    def test_jsonl_sink_retains_no_event_list(self, tmp_path):
+        """The sink's only per-run state is the bounded name caches."""
+        sink = JsonlTraceSink(str(tmp_path / "t.jsonl"))
+        n = self._traced(0.08, sink)
+        assert sink.n_events > n  # the events genuinely flowed through
+        for value in vars(sink).values():
+            if isinstance(value, (list, dict, set, tuple)):
+                assert len(value) <= 4, (
+                    "sink retained per-event state; tracing must stream"
+                )
+
+    def test_chrome_open_spans_bounded_by_queue_depth(self, tmp_path):
+        """Open-span bookkeeping tracks the queue, not the trace length."""
+        small = ChromeTraceSink(str(tmp_path / "small.json"))
+        n_small = self._traced(0.02, small)
+        big = ChromeTraceSink(str(tmp_path / "big.json"))
+        n_big = self._traced(0.16, big)
+        assert n_big > 6 * n_small
+        # 8x the requests at the same offered load: the same queue-depth
+        # high-water, give or take arrival noise — nowhere near 8x.
+        assert big.max_open_spans <= 2 * small.max_open_spans + 8
+        assert not big._open and not big._inflight  # all spans closed

@@ -24,7 +24,17 @@ weighted-fair multi-tenant runs.
 import numpy as np
 import pytest
 
-from repro.serve import StreamingMetrics, simulate_serving, uniform_trace
+from repro.cli import main
+from repro.models.zoo import get_workload
+from repro.serve import (
+    BatchingPolicy,
+    Cluster,
+    MetricsRecorder,
+    ServingEngine,
+    StreamingMetrics,
+    simulate_serving,
+    uniform_trace,
+)
 
 
 class TestLatenciesViewCopy:
@@ -181,3 +191,45 @@ class TestStreamingComposition:
         assert stream.n_served == result.n_requests > 0
         assert result.elastic is not None
         assert report.has_elastic
+
+
+class TestProgressPeriodValidation:
+    """Non-positive streaming cadences fail fast, at the entry point.
+
+    The emit scheduler advances ``_next_emit`` by ``n_served % _every``
+    arithmetic — a zero or sub-1 period would divide by zero or spin,
+    *after* the run had already streamed half its completions.  Both
+    front doors now reject it up front: ``ServingEngine.run`` for
+    programmatic streams, the CLI for ``--progress 0``.
+    """
+
+    def test_engine_rejects_sub_one_period(self):
+        cluster = Cluster([get_workload("resnet18")], n_chips=2)
+        engine = ServingEngine(
+            cluster, BatchingPolicy(max_batch_size=8, window_ns=0.0)
+        )
+        stream = StreamingMetrics()
+        stream._every = 0.5  # a half-wired dashboard integration
+        with pytest.raises(ValueError, match="positive"):
+            engine.run((), stream=stream)
+
+    def test_constructor_rejects_negative_period(self):
+        with pytest.raises(ValueError, match="progress_every"):
+            StreamingMetrics(progress_every=-1)
+
+    @pytest.mark.parametrize("flag", ["0", "-5"])
+    def test_cli_rejects_non_positive_progress(self, flag, capsys):
+        with pytest.raises(SystemExit, match="--progress must be >= 1"):
+            main(["serve", "--progress", flag, "--duration", "0.001"])
+
+    def test_metrics_recorder_rejects_non_positive_window(self):
+        for window_ms in (0.0, -1.0):
+            with pytest.raises(ValueError, match="positive"):
+                MetricsRecorder(window_ms)
+
+    def test_cli_rejects_zero_metrics_window(self, tmp_path):
+        out = str(tmp_path / "m.csv")
+        with pytest.raises(SystemExit, match="positive"):
+            main(
+                ["serve", "--metrics-out", f"{out}:0", "--duration", "0.001"]
+            )
