@@ -34,6 +34,10 @@ from repro.experiments.report import format_table
 from repro.models.zoo import get_workload
 from repro.serve import (
     Cluster,
+    FleetConfig,
+    PolicyConfig,
+    ServingConfig,
+    WorkloadConfig,
     estimated_saturation_clients,
     simulate_serving,
 )
@@ -48,12 +52,13 @@ _HORIZON_SCALE = 0.25 if SMOKE else 1.0
 
 
 def _serve(duration_s, **kwargs):
-    report, result = simulate_serving(
-        [MODEL],
+    config = ServingConfig.from_kwargs(
+        models=[MODEL],
         duration_s=duration_s * _HORIZON_SCALE,
         seed=SEED,
         **kwargs,
     )
+    report, result = simulate_serving(config=config)
     return report, result
 
 
@@ -174,15 +179,14 @@ def _recovery_rows():
     horizon_s = 0.05 * _HORIZON_SCALE
     rows = []
     for admission in (None, "slo-aware"):
-        report, result = simulate_serving(
-            [MODEL],
-            n_chips=4,
-            rps=180000.0,
-            duration_s=horizon_s,
-            trace_kind="bursty",
-            seed=SEED,
-            admission=admission,
-        )
+        report, result = simulate_serving(config=ServingConfig(
+            workload=WorkloadConfig(
+                models=(MODEL,), rps=180000.0, duration_s=horizon_s,
+                trace_kind="bursty", seed=SEED,
+            ),
+            fleet=FleetConfig(n_chips=4),
+            policy=PolicyConfig(admission=admission),
+        ))
         drain_ms = (result.makespan_ns - horizon_s * 1e9) * 1e-6
         rows.append(
             (

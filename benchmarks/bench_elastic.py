@@ -22,7 +22,12 @@ import os
 from conftest import emit
 
 from repro.experiments.report import format_table
-from repro.serve import ElasticConfig, simulate_regions, simulate_serving
+from repro.serve import (
+    ElasticConfig,
+    ServingConfig,
+    simulate_regions,
+    simulate_serving,
+)
 
 MODEL = "resnet18"
 CHIPS = 8
@@ -50,7 +55,9 @@ def _serve(elastic=None, **overrides):
         elastic=elastic,
     )
     kwargs.update(overrides)
-    return simulate_serving([MODEL], **kwargs)
+    return simulate_serving(
+        config=ServingConfig.from_kwargs(models=[MODEL], **kwargs)
+    )
 
 
 def _static_vs_elastic():

@@ -22,7 +22,7 @@ import os
 from conftest import emit
 
 from repro.experiments.report import format_table
-from repro.serve import simulate_serving
+from repro.serve import ServingConfig, simulate_serving
 
 MODEL = "resnet18"
 SEED = 0
@@ -37,15 +37,15 @@ def _horizon(duration_s: float) -> float:
 
 
 def _serve(fleet, rps, duration_s, routing="fastest", **kwargs):
-    report, _ = simulate_serving(
-        [MODEL],
+    report, _ = simulate_serving(config=ServingConfig.from_kwargs(
+        models=[MODEL],
         rps=rps,
         duration_s=_horizon(duration_s),
         seed=SEED,
         fleet=fleet,
         routing=routing,
         **kwargs,
-    )
+    ))
     return report
 
 

@@ -28,7 +28,7 @@ import os
 from conftest import emit
 
 from repro.experiments.report import format_table
-from repro.serve import simulate_serving
+from repro.serve import ServingConfig, simulate_serving
 
 MODEL = "resnet18"
 SEED = 0
@@ -39,13 +39,14 @@ _HORIZON_SCALE = 0.25 if SMOKE else 1.0
 
 
 def _serve(rps, duration_s, **kwargs):
-    report, result = simulate_serving(
-        [MODEL],
+    config = ServingConfig.from_kwargs(
+        models=[MODEL],
         rps=rps,
         duration_s=duration_s * _HORIZON_SCALE,
         seed=SEED,
         **kwargs,
     )
+    report, result = simulate_serving(config=config)
     return report, result
 
 

@@ -21,7 +21,13 @@ from conftest import emit
 
 from repro.baselines import isaac_spec
 from repro.experiments.report import format_table
-from repro.serve import simulate_serving
+from repro.serve import (
+    FleetConfig,
+    PolicyConfig,
+    ServingConfig,
+    WorkloadConfig,
+    simulate_serving,
+)
 
 MODEL = "resnet18"
 RPS = 60000.0
@@ -39,9 +45,12 @@ def _horizon(duration_s: float) -> float:
 def _scaling_rows():
     rows = []
     for chips in CHIP_SWEEP:
-        report, _ = simulate_serving(
-            [MODEL], n_chips=chips, rps=RPS, duration_s=_horizon(0.1), seed=0
-        )
+        report, _ = simulate_serving(config=ServingConfig(
+            workload=WorkloadConfig(
+                models=(MODEL,), rps=RPS, duration_s=_horizon(0.1), seed=0,
+            ),
+            fleet=FleetConfig(n_chips=chips),
+        ))
         stats = report.per_model[0]
         rows.append(
             (
@@ -80,14 +89,14 @@ def test_chip_scaling(benchmark):
 def _batching_rows():
     rows = []
     for label, max_batch in (("off", 1), ("on (8)", 8)):
-        report, _ = simulate_serving(
-            ["gpt_large"],
-            n_chips=1,
-            rps=30.0,
-            duration_s=_horizon(1.0),
-            seed=0,
-            max_batch_size=max_batch,
-        )
+        report, _ = simulate_serving(config=ServingConfig(
+            workload=WorkloadConfig(
+                models=("gpt_large",), rps=30.0, duration_s=_horizon(1.0),
+                seed=0,
+            ),
+            fleet=FleetConfig(n_chips=1),
+            policy=PolicyConfig(max_batch_size=max_batch),
+        ))
         stats = report.per_model[0]
         rows.append(
             (label, report.mean_batch_size, stats.p50_ms, stats.p99_ms,
@@ -129,14 +138,13 @@ def test_dynamic_batching_tames_the_tail(benchmark):
 def _faceoff_rows():
     rows = []
     for spec in (None, isaac_spec()):
-        report, _ = simulate_serving(
-            [MODEL],
-            n_chips=4,
-            rps=20000.0,
-            duration_s=_horizon(0.1),
-            seed=0,
-            spec=spec,
-        )
+        report, _ = simulate_serving(config=ServingConfig(
+            workload=WorkloadConfig(
+                models=(MODEL,), rps=20000.0, duration_s=_horizon(0.1),
+                seed=0,
+            ),
+            fleet=FleetConfig(n_chips=4, spec=spec),
+        ))
         rows.append(
             (
                 report.accelerator,
@@ -172,17 +180,16 @@ def test_yoco_vs_isaac_serving(benchmark):
 def _seqlen_rows():
     rows = []
     for label, buckets in (("bucketed (pow2)", None), ("pad-to-batch-max", ())):
-        report, _ = simulate_serving(
-            ["gpt_large"],
-            n_chips=2,
-            rps=400.0,
-            duration_s=_horizon(0.5),
-            seed=0,
-            seqlen_dist="lognormal",
-            seqlen_buckets=buckets,
-            max_batch_size=16,
-            window_ms=2.0,
-        )
+        report, _ = simulate_serving(config=ServingConfig(
+            workload=WorkloadConfig(
+                models=("gpt_large",), rps=400.0, duration_s=_horizon(0.5),
+                seed=0, seqlen_dist="lognormal",
+            ),
+            fleet=FleetConfig(n_chips=2),
+            policy=PolicyConfig(
+                seqlen_buckets=buckets, max_batch_size=16, window_ms=2.0,
+            ),
+        ))
         rows.append(
             (
                 label,

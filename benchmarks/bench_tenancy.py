@@ -38,7 +38,7 @@ import time
 from conftest import emit
 
 from repro.experiments.report import format_table
-from repro.serve import Tenant, simulate_serving
+from repro.serve import ServingConfig, Tenant, simulate_serving
 
 MODEL = "resnet18"
 SEED = 0
@@ -51,13 +51,13 @@ _RECORD_PATH = pathlib.Path(__file__).parent / "BENCH_tenancy.json"
 
 
 def _serve(duration_s, tenants, **kwargs):
-    return simulate_serving(
-        [MODEL],
+    return simulate_serving(config=ServingConfig.from_kwargs(
+        models=[MODEL],
         duration_s=duration_s * _HORIZON_SCALE,
         seed=SEED,
         tenants=tenants,
         **kwargs,
-    )
+    ))
 
 
 def _by_tenant(report):

@@ -42,10 +42,16 @@ from repro.models import BENCHMARK_MODELS
 from repro.models.zoo import get_workload
 from repro.serve import (
     Cluster,
+    DecodeConfig,
     ElasticConfig,
+    FleetConfig,
+    ObserveConfig,
+    PolicyConfig,
     ROUTING_POLICIES,
     SEQLEN_DISTS,
+    ServingConfig,
     Tenant,
+    WorkloadConfig,
     estimated_saturation_clients,
     simulate_regions,
     simulate_serving,
@@ -60,14 +66,25 @@ SPECS = {
 }
 
 
+def _anchor_config(model: str, chips: int) -> ServingConfig:
+    """Batch-1, window-off run whose p50 is the pure service latency."""
+    return ServingConfig(
+        workload=WorkloadConfig(models=(model,), rps=100.0, duration_s=0.05),
+        fleet=FleetConfig(n_chips=chips),
+        policy=PolicyConfig(max_batch_size=1, window_ms=0.0),
+    )
+
+
 def campaign(model: str, chips: int, rps: float, seed: int = 0, seqlen_dist=None):
     """One load point: every accelerator serves the identical trace."""
     rows = {}
     for name, spec in SPECS.items():
-        report, _ = simulate_serving(
-            [model], n_chips=chips, rps=rps, seed=seed, spec=spec,
-            seqlen_dist=seqlen_dist,
-        )
+        report, _ = simulate_serving(config=ServingConfig(
+            workload=WorkloadConfig(
+                models=(model,), rps=rps, seed=seed, seqlen_dist=seqlen_dist,
+            ),
+            fleet=FleetConfig(n_chips=chips, spec=spec),
+        ))
         rows[name] = report
     return rows
 
@@ -85,10 +102,7 @@ def main() -> None:
 
     # Anchor the sweep on YOCO's batch-1 service rate for the model
     # (window off so queueing and batching delay don't pollute the anchor).
-    base, _ = simulate_serving(
-        [model], n_chips=chips, rps=100.0, duration_s=0.05,
-        max_batch_size=1, window_ms=0.0,
-    )
+    base, _ = simulate_serving(config=_anchor_config(model, chips))
     service_ms = base.per_model[0].p50_ms
     peak_rps = chips / (service_ms * 1e-3)
 
@@ -138,6 +152,7 @@ def main() -> None:
 
     mixed_fleet_scenario(model, chips, 0.6 * peak_rps, seqlen_dist)
     power_envelope_scenario(model, chips, 1.2 * peak_rps)
+    prefill_decode_scenario(model, chips)
     closed_loop_scenario(model, chips)
     multi_tenant_scenario(model, chips, peak_rps)
     observability_scenario(model, chips, peak_rps)
@@ -152,10 +167,12 @@ def mixed_fleet_scenario(model, chips, rps, seqlen_dist):
     print(section(f"Mixed fleet — {fleet}, {rps:.0f} req/s, per routing policy"))
     rows = []
     for routing in ROUTING_POLICIES:
-        report, _ = simulate_serving(
-            [model], rps=rps, seed=0, fleet=fleet, routing=routing,
-            seqlen_dist=seqlen_dist,
-        )
+        report, _ = simulate_serving(config=ServingConfig(
+            workload=WorkloadConfig(
+                models=(model,), rps=rps, seqlen_dist=seqlen_dist,
+            ),
+            fleet=FleetConfig(fleet=fleet, routing=routing),
+        ))
         if not report.per_model:
             print("(load too low for the simulated horizon — no arrivals)\n")
             return
@@ -198,10 +215,10 @@ def power_envelope_scenario(model, chips, rps):
     rows = []
     throttled = False
     for cap in (None, 4.0, 3.2, 3.0):
-        kwargs = {} if cap is None else dict(power_cap_w=cap)
-        report, result = simulate_serving(
-            [model], rps=rps, seed=0, fleet=fleet, **kwargs
-        )
+        report, result = simulate_serving(config=ServingConfig(
+            workload=WorkloadConfig(models=(model,), rps=rps),
+            fleet=FleetConfig(fleet=fleet, power_cap_w=cap),
+        ))
         if not report.per_model:
             print("(load too low for the simulated horizon — no arrivals)\n")
             return
@@ -241,6 +258,78 @@ def power_envelope_scenario(model, chips, rps):
         )
 
 
+def prefill_decode_scenario(model, chips):
+    """Unified vs disaggregated LLM serving at equal chip count
+    (`repro.serve.decode`).
+
+    Every request autoregressively decodes a lognormal number of tokens
+    after its prefill, under iteration-level continuous batching with
+    KV-cache residency accounting.  The sweep holds traffic and fleet
+    fixed and changes only the placement: unified (every chip serves
+    both phases) vs prefill-decode disaggregation (prefill pinned to the
+    YOCO group, decode to the ISAAC group), comparing the tail metrics
+    only a decode-aware engine can report — time-to-first-token and
+    inter-token latency.
+    """
+    workload = get_workload(model)
+    llm = model if workload.seq_len > 0 else "mobilebert"
+    half = max(1, chips // 2)
+    fleet = f"yoco:{half},isaac:{half}"
+    decode = DecodeConfig(dist="lognormal", mean_tokens=32)
+    base, _ = simulate_serving(config=_anchor_config(llm, chips))
+    if not base.per_model:
+        print("(load too low for the simulated horizon — no arrivals)\n")
+        return
+    # Each request costs ~mean_tokens decode iterations on top of its
+    # prefill, so scale the offered load down accordingly.
+    service_ms = base.per_model[0].p50_ms
+    rps = 0.2 * chips / (service_ms * 1e-3) / decode.mean_tokens
+    print(section(
+        f"Prefill/decode — {llm} @ {rps:.0f} req/s on {fleet}, "
+        f"~{decode.mean_tokens} generated tokens per request"
+    ))
+    rows = []
+    for label, placement in (
+        ("unified", "replicated"),
+        ("disaggregated", "prefill-decode"),
+    ):
+        report, _ = simulate_serving(config=ServingConfig(
+            workload=WorkloadConfig(models=(llm,), rps=rps),
+            fleet=FleetConfig(fleet=fleet, placement=placement),
+            decode=decode,
+        ))
+        if not report.per_model:
+            print("(load too low for the simulated horizon — no arrivals)\n")
+            return
+        m = report.per_model[0]
+        rows.append(
+            (
+                label,
+                f"{m.ttft_p50_ms:.3f}",
+                f"{m.ttft_p99_ms:.3f}",
+                f"{m.itl_p99_ms:.4f}",
+                f"{report.decode_tokens_per_s:.0f}",
+                f"{100 * m.kv_overflow:.1f}%",
+                f"{100 * report.mean_chip_utilization:.0f}%",
+            )
+        )
+    print(format_table(
+        ("serving", "ttft p50 ms", "ttft p99 ms", "itl p99 ms", "tok/s",
+         "kv spill", "mean util"),
+        rows,
+    ))
+    print(
+        "Disaggregation isolates time-to-first-token: prefills never\n"
+        "queue behind decode iterations, so the TTFT tail tracks the\n"
+        "prefill group's service time alone no matter how deep the\n"
+        "decode backlog grows, while inter-token latency rides the\n"
+        "decode group's own per-iteration rate.  Unified serving mixes\n"
+        "the phases on every chip — under light load its ITL wins (every\n"
+        "chip takes decode work), but under pressure each long prefill\n"
+        "stalls the decodes behind it and the TTFT tail inflates.\n"
+    )
+
+
 def closed_loop_scenario(model, chips, think_ms=1.0):
     """How many concurrent users does the cluster hold at its SLO?
 
@@ -266,10 +355,14 @@ def closed_loop_scenario(model, chips, think_ms=1.0):
     cap = f"queue-cap:{12 * chips}"
     sweeps += [(over_knee, cap, None), (over_knee, cap, 3)]
     for n_clients, admission, retries in sweeps:
-        report, result = simulate_serving(
-            [model], n_chips=chips, clients=n_clients, think_time_ms=think_ms,
-            seed=0, admission=admission, retry=retries,
-        )
+        report, result = simulate_serving(config=ServingConfig(
+            workload=WorkloadConfig(
+                models=(model,), clients=n_clients, think_time_ms=think_ms,
+                retry=retries,
+            ),
+            fleet=FleetConfig(n_chips=chips),
+            policy=PolicyConfig(admission=admission),
+        ))
         if not report.per_model:
             print("(horizon too short for this think time — no requests)\n")
             return
@@ -330,10 +423,7 @@ def multi_tenant_scenario(model, chips, peak_rps):
         if preempt and tight_ms is None:
             # A deadline waiting can miss but an overhead-charged
             # preemption can meet: ~2x the batch-1 service time.
-            base, _ = simulate_serving(
-                [model], n_chips=chips, rps=100.0, duration_s=0.05,
-                max_batch_size=1, window_ms=0.0,
-            )
+            base, _ = simulate_serving(config=_anchor_config(model, chips))
             tight_ms = 2.0 * base.per_model[0].p50_ms
         tenants = (
             Tenant(
@@ -345,10 +435,11 @@ def multi_tenant_scenario(model, chips, peak_rps):
                 rate_limit_rps=0.5 * peak_rps if rate_limited else None,
             ),
         )
-        report, result = simulate_serving(
-            [model], n_chips=chips, seed=0, tenants=tenants,
-            scheduler=scheduler, preemption=preempt,
-        )
+        report, result = simulate_serving(config=ServingConfig(
+            workload=WorkloadConfig(models=(model,), tenants=tenants),
+            fleet=FleetConfig(n_chips=chips),
+            policy=PolicyConfig(scheduler=scheduler, preemption=preempt),
+        ))
         by = {t.tenant: t for t in report.per_tenant}
         if "chat" not in by or by["chat"].n_requests == 0:
             print("(load too low for the simulated horizon — no arrivals)\n")
@@ -396,10 +487,7 @@ def observability_scenario(model, chips, peak_rps):
     """
     chat_rps = 0.05 * peak_rps
     bulk_rps = 1.5 * peak_rps
-    base, _ = simulate_serving(
-        [model], n_chips=chips, rps=100.0, duration_s=0.05,
-        max_batch_size=1, window_ms=0.0,
-    )
+    base, _ = simulate_serving(config=_anchor_config(model, chips))
     tight_ms = 2.0 * base.per_model[0].p50_ms
     tenants = (
         Tenant(
@@ -414,11 +502,12 @@ def observability_scenario(model, chips, peak_rps):
     ))
     with tempfile.TemporaryDirectory() as tmp:
         trace_path = str(pathlib.Path(tmp) / "noisy_neighbor.jsonl")
-        report, result = simulate_serving(
-            [model], n_chips=chips, seed=0, tenants=tenants,
-            scheduler="strict-priority", preemption=True,
-            trace_file=trace_path,
-        )
+        report, result = simulate_serving(config=ServingConfig(
+            workload=WorkloadConfig(models=(model,), tenants=tenants),
+            fleet=FleetConfig(n_chips=chips),
+            policy=PolicyConfig(scheduler="strict-priority", preemption=True),
+            observe=ObserveConfig(trace_file=trace_path),
+        ))
         summary = summarize_trace(trace_path)
     by = {t.tenant: t for t in report.per_tenant}
     if "chat" not in by or by["chat"].n_requests == 0:

@@ -96,6 +96,7 @@ from repro.experiments import (
 from repro.experiments.report import section
 from repro.serve import (
     ADMISSION_POLICIES,
+    DECODE_DISTS,
     MODES,
     PLACEMENTS,
     ROUTING_POLICIES,
@@ -103,7 +104,13 @@ from repro.serve import (
     SEQLEN_DISTS,
     THINK_DISTS,
     TRACE_KINDS,
+    DecodeConfig,
+    FleetConfig,
+    ObserveConfig,
+    PolicyConfig,
+    ServingConfig,
     StreamingMetrics,
+    WorkloadConfig,
     format_engine_profile,
     format_regions,
     format_serving,
@@ -163,8 +170,16 @@ def _parse_metrics_out(text: Optional[str]):
     return path, window_ms
 
 
-def _serve(args: argparse.Namespace) -> str:
-    models = args.model if args.model else ["resnet18"]
+def serve_config_from_args(args: argparse.Namespace) -> ServingConfig:
+    """Pure ``args -> ServingConfig`` translation (no simulation started).
+
+    Flag-level problems — grammar parse failures and pairings worded in
+    CLI terms — raise ``SystemExit`` here; every semantic composition
+    rule is left to :meth:`ServingConfig.validate`, which
+    ``simulate_serving(config=...)`` applies.  Having no side effects,
+    the translation is unit-testable on a bare ``argparse.Namespace``.
+    """
+    models = tuple(args.model) if args.model else ("resnet18",)
     fleet = None
     if args.fleet is not None:
         try:
@@ -230,97 +245,159 @@ def _serve(args: argparse.Namespace) -> str:
                 "--autoscale cannot combine with --preempt (parked chips "
                 "look permanently free to the deadline probe)"
             )
-    metrics_file, metrics_window_ms = _parse_metrics_out(args.metrics_out)
-    if args.regions is not None:
-        if args.regions < 1:
-            raise SystemExit("--regions must be >= 1")
+    decode = None
+    if args.decode_dist is not None:
+        try:
+            decode = DecodeConfig(
+                dist=args.decode_dist,
+                mean_tokens=args.decode_mean,
+                max_tokens=args.decode_max,
+            )
+        except ValueError as error:
+            raise SystemExit(f"--decode-dist: {error}") from None
         for flag, present in (
-            ("--fleet", fleet is not None),
-            ("--tenants", tenants is not None),
             ("--clients", args.clients is not None),
-            ("--admission", admission is not None),
-            ("--seqlen-dist", args.seqlen_dist is not None),
-            ("--power-cap/--t-max",
-             args.power_cap is not None or args.t_max is not None),
+            ("--tenants", tenants is not None),
+            ("--autoscale", elastic is not None),
             ("--progress", args.progress is not None),
-            ("--trace-out", args.trace_out is not None),
-            ("--metrics-out", metrics_file is not None),
-            ("--profile-engine", args.profile_engine),
         ):
             if present:
                 raise SystemExit(
-                    f"--regions runs are homogeneous open-loop diurnal "
-                    f"studies; they cannot combine with {flag}"
+                    f"--decode-dist runs cannot combine with {flag} yet"
                 )
-        regions_report = simulate_regions(
-            models,
-            n_regions=args.regions,
-            rps=args.rps,
-            n_chips=n_chips,
-            duration_s=args.duration,
-            seed=args.seed,
-            rtt_ms=args.rtt_ms,
-            elastic=elastic,
-            max_batch_size=args.max_batch,
-            window_ms=args.window_ms,
-            slo_ms=args.slo_ms,
+    elif args.placement == "prefill-decode":
+        raise SystemExit(
+            "--placement prefill-decode specializes chip groups for a "
+            "decode loop; pass --decode-dist as well"
         )
-        header = (
-            f"traffic           : {','.join(models)} @ {args.rps:g} req/s "
-            f"per region (follow-the-sun diurnal, {args.duration:g} s "
-            f"horizon, seed {args.seed})"
-        )
-        if elastic is not None:
-            header += (
-                f"\nautoscaling       : {args.autoscale} per region"
-            )
-        return header + "\n" + format_regions(regions_report)
+    metrics_file, metrics_window_ms = _parse_metrics_out(args.metrics_out)
     stream = None
     if args.progress is not None:
         if args.progress < 1:
             raise SystemExit("--progress must be >= 1")
         stream = StreamingMetrics(progress_every=args.progress)
-    report, result = simulate_serving(
+    return ServingConfig(
+        workload=WorkloadConfig(
+            models=models,
+            rps=args.rps,
+            duration_s=args.duration,
+            trace_kind=args.trace,
+            seed=args.seed,
+            seqlen_dist=args.seqlen_dist,
+            seqlen_mean=args.seqlen_mean,
+            clients=args.clients,
+            think_time_ms=args.think_time,
+            think_dist=args.think_dist,
+            retry=retries,
+            tenants=tenants,
+        ),
+        fleet=FleetConfig(
+            n_chips=n_chips,
+            mode=args.mode,
+            placement=args.placement,
+            fleet=fleet,
+            routing=args.routing,
+            power_cap_w=args.power_cap,
+            # --thermal-tau alone constrains nothing; forwarding it anyway
+            # would spin up a governor whose trace the CLI never shows.
+            thermal_tau_s=(
+                args.thermal_tau
+                if args.power_cap is not None or args.t_max is not None
+                else None
+            ),
+            t_max_c=args.t_max,
+            elastic=elastic,
+        ),
+        policy=PolicyConfig(
+            max_batch_size=args.max_batch,
+            window_ms=args.window_ms,
+            slo_ms=args.slo_ms,
+            seqlen_buckets=_parse_buckets(args.seqlen_buckets),
+            admission=admission,
+            scheduler=args.scheduler,
+            preemption=args.preempt,
+        ),
+        observe=ObserveConfig(
+            stream_metrics=stream,
+            trace_file=args.trace_out,
+            metrics_file=metrics_file,
+            metrics_window_ms=metrics_window_ms,
+            profile_engine=args.profile_engine,
+        ),
+        decode=decode,
+    )
+
+
+def _serve_regions(args: argparse.Namespace) -> str:
+    if args.regions < 1:
+        raise SystemExit("--regions must be >= 1")
+    for flag, present in (
+        ("--fleet", args.fleet is not None),
+        ("--tenants", args.tenants is not None),
+        ("--clients", args.clients is not None),
+        ("--retries", args.retries is not None),
+        ("--admission", args.admission is not None),
+        ("--seqlen-dist", args.seqlen_dist is not None),
+        ("--power-cap/--t-max",
+         args.power_cap is not None or args.t_max is not None),
+        ("--decode-dist", args.decode_dist is not None),
+        ("--progress", args.progress is not None),
+        ("--trace-out", args.trace_out is not None),
+        ("--metrics-out", args.metrics_out is not None),
+        ("--profile-engine", args.profile_engine),
+    ):
+        if present:
+            raise SystemExit(
+                f"--regions runs are homogeneous open-loop diurnal "
+                f"studies; they cannot combine with {flag}"
+            )
+    if args.scheduler != "fifo" or args.preempt:
+        raise SystemExit("--scheduler/--preempt need --tenants")
+    models = args.model if args.model else ["resnet18"]
+    n_chips = args.chips if args.chips is not None else 4
+    elastic = None
+    if args.autoscale is not None:
+        try:
+            elastic = parse_autoscale(args.autoscale)
+        except ValueError as error:
+            raise SystemExit(f"--autoscale: {error}") from None
+    regions_report = simulate_regions(
         models,
-        n_chips=n_chips,
+        n_regions=args.regions,
         rps=args.rps,
+        n_chips=n_chips,
         duration_s=args.duration,
-        trace_kind=args.trace,
         seed=args.seed,
-        mode=args.mode,
-        placement=args.placement,
+        rtt_ms=args.rtt_ms,
+        elastic=elastic,
         max_batch_size=args.max_batch,
         window_ms=args.window_ms,
         slo_ms=args.slo_ms,
-        seqlen_dist=args.seqlen_dist,
-        seqlen_mean=args.seqlen_mean,
-        seqlen_buckets=_parse_buckets(args.seqlen_buckets),
-        fleet=fleet,
-        routing=args.routing,
-        power_cap_w=args.power_cap,
-        # --thermal-tau alone constrains nothing; forwarding it anyway
-        # would spin up a governor whose trace the CLI never shows.
-        thermal_tau_s=(
-            args.thermal_tau
-            if args.power_cap is not None or args.t_max is not None
-            else None
-        ),
-        t_max_c=args.t_max,
-        clients=args.clients,
-        think_time_ms=args.think_time,
-        think_dist=args.think_dist,
-        retry=retries,
-        admission=admission,
-        tenants=tenants,
-        scheduler=args.scheduler,
-        preemption=args.preempt,
-        stream_metrics=stream,
-        elastic=elastic,
-        trace_file=args.trace_out,
-        metrics_file=metrics_file,
-        metrics_window_ms=metrics_window_ms,
-        profile_engine=args.profile_engine,
     )
+    header = (
+        f"traffic           : {','.join(models)} @ {args.rps:g} req/s "
+        f"per region (follow-the-sun diurnal, {args.duration:g} s "
+        f"horizon, seed {args.seed})"
+    )
+    if elastic is not None:
+        header += (
+            f"\nautoscaling       : {args.autoscale} per region"
+        )
+    return header + "\n" + format_regions(regions_report)
+
+
+def _serve(args: argparse.Namespace) -> str:
+    if args.regions is not None:
+        return _serve_regions(args)
+    cfg = serve_config_from_args(args)
+    try:
+        report, result = simulate_serving(config=cfg)
+    except ValueError as error:
+        raise SystemExit(f"serve: {error}") from None
+    models = list(cfg.workload.models)
+    tenants = cfg.workload.tenants
+    metrics_file = cfg.observe.metrics_file
+    metrics_window_ms = cfg.observe.metrics_window_ms
     if args.clients is not None:
         header = (
             f"traffic           : {','.join(models)} closed-loop, "
@@ -349,6 +426,13 @@ def _serve(args: argparse.Namespace) -> str:
         mean = args.seqlen_mean if args.seqlen_mean else "native"
         header += (
             f"\nsequence lengths  : {args.seqlen_dist} (mean {mean})"
+        )
+    if args.decode_dist:
+        cap = f", cap {args.decode_max}" if args.decode_max else ""
+        header += (
+            f"\ndecode            : {args.decode_dist} "
+            f"(mean {args.decode_mean} tokens{cap}, "
+            f"{args.placement if args.placement == 'prefill-decode' else 'unified'} serving)"
         )
     if args.power_cap is not None or args.t_max is not None:
         cap = "-" if args.power_cap is None else f"{args.power_cap:g} W/chip"
@@ -580,6 +664,28 @@ def build_parser() -> argparse.ArgumentParser:
         "256,512,1024 (default: power-of-two buckets covering the samples)",
     )
     serve.add_argument(
+        "--decode-dist",
+        choices=DECODE_DISTS,
+        default=None,
+        help="per-request output-length distribution: every transformer "
+        "request autoregressively decodes that many tokens after its "
+        "prefill, under iteration-level continuous batching with "
+        "KV-cache residency accounting (CNNs are unaffected)",
+    )
+    serve.add_argument(
+        "--decode-mean",
+        type=int,
+        default=32,
+        help="mean generated tokens per request (default: 32; only "
+        "meaningful with --decode-dist)",
+    )
+    serve.add_argument(
+        "--decode-max",
+        type=int,
+        default=None,
+        help="hard cap on generated tokens per request (default: none)",
+    )
+    serve.add_argument(
         "--power-cap",
         type=float,
         default=None,
@@ -735,7 +841,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--placement",
         choices=PLACEMENTS,
         default="replicated",
-        help="model-to-chip placement strategy",
+        help="model-to-chip placement strategy (prefill-decode pins "
+        "prefill to fleet group 0 and decode to the remaining groups; "
+        "needs --fleet and --decode-dist)",
     )
     return parser
 

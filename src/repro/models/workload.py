@@ -303,3 +303,59 @@ def at_seq_len(workload: WorkloadSpec, seq_len: int) -> WorkloadSpec:
         for layer in workload.layers
     )
     return dataclasses.replace(workload, layers=layers, seq_len=seq_len)
+
+
+def _layer_at_decode(layer: LayerSpec, native: LayerSpec, native_seq: int, ctx_len: int) -> LayerSpec:
+    """Rebuild one layer's GEMM for a single-token decode step.
+
+    The new token contributes one row to every token-axis product while
+    attention still reads the full ``ctx_len``-deep KV cache:
+
+    * projections / FFNs shrink to ``m = 1`` (one new token);
+    * attention score is ``(1 x head_dim) @ (head_dim x ctx)``;
+    * attention context is ``(1 x ctx) @ (ctx x head_dim)``;
+    * everything else carries no token axis and is untouched.
+
+    Whether a projection row count is a token axis is decided against the
+    *native* layer (``native.gemm.m == native_seq``), never by matching the
+    derived value — the same MobileBERT hazard :func:`_layer_at_seq_len`
+    documents.
+    """
+    gemm = layer.gemm
+    if layer.kind in (LayerKind.PROJECTION, LayerKind.FFN):
+        if native.gemm.m != native_seq:
+            return layer
+        new_gemm = GemmShape(m=1, k=gemm.k, n=gemm.n)
+    elif layer.kind == LayerKind.ATTENTION_SCORE:
+        new_gemm = GemmShape(m=1, k=gemm.k, n=ctx_len)
+    elif layer.kind == LayerKind.ATTENTION_CONTEXT:
+        new_gemm = GemmShape(m=1, k=ctx_len, n=gemm.n)
+    else:
+        return layer
+    return dataclasses.replace(layer, gemm=new_gemm)
+
+
+def at_decode_step(workload: WorkloadSpec, context_len: int) -> WorkloadSpec:
+    """Derive one autoregressive decode iteration at a given context length.
+
+    Rides on :func:`at_seq_len`: the workload is first re-derived at
+    ``context_len`` (so attention operand depths match the KV cache), then
+    every token-axis ``m`` collapses to 1 — a decode step computes exactly
+    one new token against the cached context.  Trained weight shapes are
+    untouched, so ``total_weight_bytes`` stays invariant and the serving
+    cluster's placement / replication / overflow decisions carry over
+    from prefill unchanged.
+    """
+    if context_len < 1:
+        raise ValueError(f"decode context_len must be >= 1, got {context_len}")
+    if workload.kind != ModelKind.TRANSFORMER or workload.seq_len == 0:
+        raise ValueError(
+            f"workload {workload.name!r} has no token axis; "
+            "decode steps need a transformer workload"
+        )
+    ctx = at_seq_len(workload, context_len)
+    layers = tuple(
+        _layer_at_decode(layer, native, workload.seq_len, context_len)
+        for layer, native in zip(ctx.layers, workload.layers)
+    )
+    return dataclasses.replace(ctx, layers=layers, seq_len=context_len)

@@ -85,6 +85,22 @@ from repro.serve.clients import (
     RetryPolicy,
     estimated_saturation_clients,
 )
+from repro.serve.config import (
+    COMPOSITION_RULES,
+    FleetConfig,
+    ObserveConfig,
+    PolicyConfig,
+    ServingConfig,
+    WorkloadConfig,
+    _resolved_tenancy,
+    validate_engine,
+)
+from repro.serve.decode import (
+    DECODE_DISTS,
+    DecodeConfig,
+    page_round,
+    sample_decode_lens,
+)
 from repro.serve.cluster import (
     Cluster,
     ChipPlan,
@@ -195,6 +211,7 @@ from repro.serve.traces import (
     sample_seqlens,
     uniform_seqlens,
     uniform_trace,
+    with_decode_lens,
     with_seqlens,
 )
 
@@ -205,6 +222,7 @@ __all__ = [
     "Batch",
     "BatchingPolicy",
     "CHIP_TYPES",
+    "COMPOSITION_RULES",
     "ChipPlan",
     "ChipService",
     "ChipTypeStats",
@@ -213,11 +231,14 @@ __all__ = [
     "ClosedLoopDriver",
     "Cluster",
     "ClusterPlan",
+    "DECODE_DISTS",
+    "DecodeConfig",
     "ElasticConfig",
     "ElasticController",
     "ElasticTrace",
     "EngineProfile",
     "EngineStats",
+    "FleetConfig",
     "FleetGroup",
     "FleetSpec",
     "GroupPowerTrace",
@@ -228,9 +249,11 @@ __all__ = [
     "ModelServingStats",
     "MultiObserver",
     "Observer",
+    "ObserveConfig",
     "PLACEMENTS",
     "PhaseStats",
     "FifoScheduler",
+    "PolicyConfig",
     "PowerConfig",
     "PowerGovernor",
     "PowerModel",
@@ -250,6 +273,7 @@ __all__ = [
     "ScalingAction",
     "Scheduler",
     "ServedRequest",
+    "ServingConfig",
     "ServingEngine",
     "ServingReport",
     "ServingResult",
@@ -268,6 +292,7 @@ __all__ = [
     "ThrottlePolicy",
     "TokenBucket",
     "WeightedFairScheduler",
+    "WorkloadConfig",
     "backend_for",
     "bucket_for",
     "bursty_trace",
@@ -293,6 +318,7 @@ __all__ = [
     "make_scheduler",
     "make_trace",
     "merge_traces",
+    "page_round",
     "parse_admission",
     "parse_autoscale",
     "parse_fleet",
@@ -301,6 +327,7 @@ __all__ = [
     "plan_cluster",
     "plan_fleet",
     "poisson_trace",
+    "sample_decode_lens",
     "sample_seqlens",
     "simulate_regions",
     "simulate_serving",
@@ -309,6 +336,8 @@ __all__ = [
     "tenant_traces",
     "uniform_seqlens",
     "uniform_trace",
+    "validate_engine",
+    "with_decode_lens",
     "with_seqlens",
 ]
 
@@ -317,8 +346,52 @@ __all__ = [
 _SEQLEN_SEED_OFFSET = 100_003
 
 
+#: Defaults of the legacy flat-kwarg form, used to detect a call that
+#: mixes ``config=`` with overridden flat kwargs (always a bug).
+_LEGACY_DEFAULTS = dict(
+    models=(),
+    n_chips=None,
+    rps=2000.0,
+    duration_s=0.1,
+    trace_kind="poisson",
+    seed=0,
+    spec=None,
+    mode="batched",
+    placement="replicated",
+    max_batch_size=8,
+    window_ms=0.2,
+    slo_ms=None,
+    seqlen_dist=None,
+    seqlen_mean=None,
+    seqlen_buckets=None,
+    fleet=None,
+    routing="fastest",
+    power=None,
+    power_cap_w=None,
+    thermal_tau_s=None,
+    t_max_c=None,
+    clients=None,
+    think_time_ms=5.0,
+    think_dist="exponential",
+    retry=None,
+    admission=None,
+    tenants=None,
+    scheduler="fifo",
+    preemption=False,
+    preemption_overhead_ns=10_000.0,
+    stream_metrics=None,
+    elastic=None,
+    observe=None,
+    trace_file=None,
+    metrics_file=None,
+    metrics_window_ms=1.0,
+    profile_engine=False,
+    decode=None,
+)
+
+
 def simulate_serving(
-    models: Sequence[str],
+    models: Sequence[str] = (),
     n_chips: Optional[int] = None,
     rps: float = 2000.0,
     duration_s: float = 0.1,
@@ -355,6 +428,8 @@ def simulate_serving(
     metrics_file: Optional[str] = None,
     metrics_window_ms: float = 1.0,
     profile_engine: bool = False,
+    decode: Optional[DecodeConfig] = None,
+    config: Optional[ServingConfig] = None,
 ) -> Tuple[ServingReport, ServingResult]:
     """End-to-end serving run: build trace + cluster, simulate, summarize.
 
@@ -465,75 +540,131 @@ def simulate_serving(
     observers compose.  ``profile_engine`` makes the engine count its
     own event-loop work (events popped by kind, dispatch-scan lengths,
     heap high-water) on ``result.stats.profile``.
+
+    ``decode`` (a :class:`repro.serve.decode.DecodeConfig`) turns every
+    transformer request autoregressive: after its prefill pass it samples
+    an output length from ``decode.dist`` on a seed lane disjoint from
+    arrivals and seqlens, then generates one token per decode iteration
+    under **continuous batching** — decode batches re-form every
+    iteration, completed requests leave, new ones join mid-flight.  Each
+    iteration is costed at the request's *current* context length
+    (page-rounded to ``decode.page_tokens``) and its KV cache is checked
+    against the chip's leftover on-chip capacity; overflowing KV streams
+    at the off-chip rate and surfaces as the report's ``kv_overflow``
+    column.  The report gains TTFT and inter-token-latency percentiles
+    per model.  ``placement="prefill-decode"`` on a multi-group fleet
+    pins prefill to group 0 and decode to the remaining groups.  With
+    ``decode=None`` nothing changes — the run replays the decode-free
+    goldens byte for byte.
+
+    ``config`` (a :class:`repro.serve.config.ServingConfig`) is the
+    grouped form of this entire signature and the primary API: build
+    ``ServingConfig(workload=..., fleet=..., policy=..., observe=...,
+    decode=...)`` and pass it alone — combining it with any overridden
+    flat kwarg raises.  Both forms funnel through
+    :meth:`ServingConfig.validate` (one rule table) and the same
+    simulation core, so they are object-for-object identical.
     """
-    if not models:
-        raise ValueError("need at least one model to serve")
-    if power is not None and (
-        power_cap_w is not None
-        or thermal_tau_s is not None
-        or t_max_c is not None
-    ):
-        raise ValueError(
-            "pass either a full PowerConfig or the scalar power knobs, "
-            "not both"
+    legacy = dict(
+        models=tuple(models),
+        n_chips=n_chips,
+        rps=rps,
+        duration_s=duration_s,
+        trace_kind=trace_kind,
+        seed=seed,
+        spec=spec,
+        mode=mode,
+        placement=placement,
+        max_batch_size=max_batch_size,
+        window_ms=window_ms,
+        slo_ms=slo_ms,
+        seqlen_dist=seqlen_dist,
+        seqlen_mean=seqlen_mean,
+        seqlen_buckets=seqlen_buckets,
+        fleet=fleet,
+        routing=routing,
+        power=power,
+        power_cap_w=power_cap_w,
+        thermal_tau_s=thermal_tau_s,
+        t_max_c=t_max_c,
+        clients=clients,
+        think_time_ms=think_time_ms,
+        think_dist=think_dist,
+        retry=retry,
+        admission=admission,
+        tenants=tenants,
+        scheduler=scheduler,
+        preemption=preemption,
+        preemption_overhead_ns=preemption_overhead_ns,
+        stream_metrics=stream_metrics,
+        elastic=elastic,
+        observe=observe,
+        trace_file=trace_file,
+        metrics_file=metrics_file,
+        metrics_window_ms=metrics_window_ms,
+        profile_engine=profile_engine,
+        decode=decode,
+    )
+    if config is not None:
+        overridden = sorted(
+            name
+            for name, value in legacy.items()
+            if value != _LEGACY_DEFAULTS[name]
         )
+        if overridden:
+            raise ValueError(
+                "pass either config= (a ServingConfig) or the flat legacy "
+                f"kwargs, not both; got config= plus {overridden}"
+            )
+        cfg = config
+    else:
+        cfg = ServingConfig.from_kwargs(**legacy)
+    return _simulate(cfg.validate())
+
+
+def _simulate(cfg: ServingConfig) -> Tuple[ServingReport, ServingResult]:
+    """Run one already-validated :class:`ServingConfig` (the shared core)."""
+    w, f, p, o = cfg.workload, cfg.fleet, cfg.policy, cfg.observe
+    if w.regions is not None:
+        raise ValueError(
+            "multi-region scenarios run through simulate_regions(); "
+            "simulate_serving serves a single region"
+        )
+    # Unpack the grouped knobs; coerce the shorthand forms exactly the way
+    # the legacy flat kwargs did (golden-guarded equivalence).
+    models = w.models
+    rps, duration_s = w.rps, w.duration_s
+    trace_kind, seed = w.trace_kind, w.seed
+    seqlen_dist, seqlen_mean = w.seqlen_dist, w.seqlen_mean
+    clients, think_time_ms, think_dist = w.clients, w.think_time_ms, w.think_dist
+    n_chips, spec, mode = f.n_chips, f.spec, f.mode
+    placement, fleet, routing = f.placement, f.fleet, f.routing
+    max_batch_size, window_ms = p.max_batch_size, p.window_ms
+    slo_ms, seqlen_buckets = p.slo_ms, p.seqlen_buckets
+    admission = p.admission
+    stream_metrics, observe = o.stream_metrics, o.observe
+    trace_file, metrics_file = o.trace_file, o.metrics_file
+    metrics_window_ms, profile_engine = o.metrics_window_ms, o.profile_engine
+    decode_cfg = cfg.decode
+    power = f.power
     if power is None and (
-        power_cap_w is not None
-        or thermal_tau_s is not None
-        or t_max_c is not None
+        f.power_cap_w is not None
+        or f.thermal_tau_s is not None
+        or f.t_max_c is not None
     ):
         tau_kwargs = (
-            {} if thermal_tau_s is None else {"thermal_tau_s": thermal_tau_s}
+            {}
+            if f.thermal_tau_s is None
+            else {"thermal_tau_s": f.thermal_tau_s}
         )
         power = PowerConfig(
-            power_cap_w=power_cap_w, t_max_c=t_max_c, **tau_kwargs
+            power_cap_w=f.power_cap_w, t_max_c=f.t_max_c, **tau_kwargs
         )
-    if seqlen_dist is not None and seqlen_dist not in SEQLEN_DISTS:
-        raise ValueError(
-            f"unknown seqlen dist {seqlen_dist!r}; available: {SEQLEN_DISTS}"
-        )
-    if clients is not None and clients < 1:
-        raise ValueError("clients must be >= 1 (None for open-loop traces)")
+    retry = w.retry
     if isinstance(retry, int):
         retry = RetryPolicy(max_retries=retry)
-    if retry is not None and clients is None:
-        raise ValueError(
-            "retry-with-backoff needs closed-loop clients; open-loop "
-            "rejections always drop"
-        )
-    tenancy: Optional[TenancyConfig] = None
-    if tenants is not None:
-        if clients is not None:
-            raise ValueError(
-                "multi-tenant serving is open-loop; it cannot combine "
-                "with closed-loop clients"
-            )
-        if isinstance(tenants, TenancyConfig):
-            tenancy = tenants
-        else:
-            tenant_tuple = (
-                parse_tenants(tenants)
-                if isinstance(tenants, str)
-                else tuple(tenants)
-            )
-            tenancy = TenancyConfig(
-                tenant_tuple,
-                scheduler=scheduler,
-                preemption=preemption,
-                preemption_overhead_ns=preemption_overhead_ns,
-            )
-        for tenant in tenancy.tenants:
-            unknown = [m for m in tenant.models if m not in models]
-            if unknown:
-                raise ValueError(
-                    f"tenant {tenant.name!r} calls {unknown} but the run "
-                    f"serves {list(models)}"
-                )
-    elif scheduler != "fifo" or preemption:
-        raise ValueError(
-            "scheduler/preemption knobs need a multi-tenant run; pass "
-            "tenants="
-        )
+    tenancy = _resolved_tenancy(w.tenants, p)
+    elastic = f.elastic
     workloads = [get_workload(name) for name in models]
     max_context = (
         int(max(seqlen_buckets)) if seqlen_buckets else None
@@ -612,6 +743,14 @@ def simulate_serving(
                 sub = with_seqlens(sub, lens)
                 if lens:
                     max_sampled = max(max_sampled, max(lens))
+            if decode_cfg is not None and workload.seq_len > 0:
+                # Decode lengths draw on their own seed lane (disjoint from
+                # arrivals and seqlens), so turning decode on never perturbs
+                # the prefill-side trace.
+                dlens = sample_decode_lens(
+                    decode_cfg, len(sub), seed=seed + i, trace_kind=trace_kind
+                )
+                sub = with_decode_lens(sub, dlens)
             sub_traces.append(sub)
         trace = merge_traces(*sub_traces)
         if seqlen_buckets is not None:
@@ -671,6 +810,7 @@ def simulate_serving(
         tenancy=tenancy,
         elastic=elastic,
         profile=profile_engine,
+        decode=decode_cfg,
     )
     result = engine.run(
         trace, clients=population, stream=stream_metrics, observe=obs

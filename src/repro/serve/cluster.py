@@ -44,7 +44,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.arch.accelerator import AcceleratorSpec, yoco_spec
 from repro.arch.simulator import ArchitectureSimulator
-from repro.models.workload import WorkloadSpec, at_seq_len
+from repro.models.workload import LayerKind, WorkloadSpec, at_decode_step, at_seq_len
 from repro.serve.fleet import (
     MODES,
     FleetGroup,
@@ -54,7 +54,13 @@ from repro.serve.fleet import (
     parse_fleet,
 )
 
-PLACEMENTS = ("replicated", "partitioned", "cost-latency", "cost-energy")
+PLACEMENTS = (
+    "replicated",
+    "partitioned",
+    "cost-latency",
+    "cost-energy",
+    "prefill-decode",
+)
 
 #: Per-chip service-cost cache key: the group name pins the backend (two
 #: chip types may share capacity and residency yet cost very differently),
@@ -120,7 +126,11 @@ def plan_fleet(
     if len(set(names)) != len(names):
         raise ValueError("duplicate workload names in cluster")
     unplaceable: Tuple[str, ...] = ()
-    if placement == "replicated":
+    if placement in ("replicated", "prefill-decode"):
+        # prefill-decode replicates every model onto every chip; the
+        # *engine* specializes which group runs prefill vs decode
+        # (capacity and replication accounting are phase-blind — weight
+        # footprints are invariant under the decode re-derivation).
         assigned: List[List[str]] = [list(names) for _ in range(fleet.n_chips)]
     elif placement == "partitioned":
         assigned = []
@@ -406,6 +416,11 @@ class Cluster:
                     f"n_chips={n_chips} contradicts the fleet's "
                     f"{fleet.n_chips} chips; omit it"
                 )
+        if placement == "prefill-decode" and len(fleet.groups) < 2:
+            from repro.serve.config import MSG_PD_NEEDS_GROUPS
+
+            raise ValueError(MSG_PD_NEEDS_GROUPS)
+        self._placement = placement
         self._fleet = fleet
         self._chip_groups = fleet.chip_groups
         self._workloads = {w.name: w for w in workloads}
@@ -438,6 +453,12 @@ class Cluster:
         # a bucketed LLM run costs one derivation per (model, bucket), not
         # one per batch.
         self._seqlen_workloads: Dict[Tuple[str, int], WorkloadSpec] = {}
+        # Decode-phase caches: single-token iteration workloads per
+        # (model, page-rounded context), their service costs, and each
+        # model's KV bytes per cached token.
+        self._decode_workloads: Dict[Tuple[str, int], WorkloadSpec] = {}
+        self._decode_cache: Dict[Tuple[ChipKey, str, int, int], ChipService] = {}
+        self._kv_per_token: Dict[str, int] = {}
 
     # -- accessors -----------------------------------------------------------------
     @property
@@ -531,6 +552,126 @@ class Cluster:
     def chips_for(self, model: str) -> Tuple[int, ...]:
         """Chip ids hosting (a replica of) this model."""
         return self._plan.placements[model]
+
+    # -- prefill/decode disaggregation ---------------------------------------------
+    @property
+    def placement(self) -> str:
+        return self._placement
+
+    @property
+    def disaggregated(self) -> bool:
+        """True when the fleet specializes prefill and decode chip groups."""
+        return self._placement == "prefill-decode"
+
+    @property
+    def prefill_chips(self) -> Tuple[int, ...]:
+        """Chips eligible for prefill batches (group 0 when disaggregated)."""
+        if self._placement != "prefill-decode":
+            return tuple(range(self.n_chips))
+        return tuple(
+            c for c in range(self.n_chips) if self._chip_groups[c] == 0
+        )
+
+    @property
+    def decode_chips(self) -> Tuple[int, ...]:
+        """Chips eligible for decode iterations (groups 1+ when disaggregated)."""
+        if self._placement != "prefill-decode":
+            return tuple(range(self.n_chips))
+        return tuple(
+            c for c in range(self.n_chips) if self._chip_groups[c] != 0
+        )
+
+    def decode_workload(self, model: str, context_len: int) -> WorkloadSpec:
+        """One decode iteration of ``model`` at ``context_len`` (cached).
+
+        Rides the same :func:`at_seq_len` re-derivation as prefill
+        buckets, then collapses the token axis to a single new token
+        (:func:`repro.models.workload.at_decode_step`) — weight bytes
+        are invariant, so placement never changes between phases.
+        """
+        key = (model, context_len)
+        derived = self._decode_workloads.get(key)
+        if derived is None:
+            derived = at_decode_step(self._workloads[model], context_len)
+            self._decode_workloads[key] = derived
+        return derived
+
+    def decode_service(
+        self, chip_id: int, model: str, batch_size: int, context_len: int
+    ) -> ChipService:
+        """Latency/energy of one decode iteration batch on ``chip_id``.
+
+        ``context_len`` is the (page-rounded) context the longest batch
+        member attends over.  Decode batches always run wave-batched
+        (``run_batch``), even on pipelined groups: continuous batching
+        re-forms the batch every iteration, so there is never a stable
+        stream to pipeline.
+        """
+        if chip_id not in self.chips_for(model):
+            raise ValueError(f"chip {chip_id} does not host model {model!r}")
+        key = (self._chip_keys[chip_id], model, batch_size, context_len)
+        cached = self._decode_cache.get(key)
+        if cached is None:
+            sim = self._simulator(chip_id)
+            batch = sim.run_batch(
+                self.decode_workload(model, context_len), batch_size
+            )
+            cached = ChipService(
+                latency_ns=batch.latency_ns, energy_pj=batch.energy_pj
+            )
+            self._decode_cache[key] = cached
+        return cached
+
+    def kv_bytes_per_token(self, model: str) -> int:
+        """KV-cache footprint one cached token adds (8-bit K + V rows).
+
+        Read off the attention GEMMs of the *native* workload: each
+        score layer caches a ``head_dim`` K-row per head per token
+        (``gemm.k * repeat``), each context layer a ``head_dim`` V-row
+        (``gemm.n * repeat``).  CNNs carry no attention and return 0.
+        """
+        cached = self._kv_per_token.get(model)
+        if cached is None:
+            w = self._workloads[model]
+            cached = sum(
+                layer.gemm.k * layer.repeat
+                for layer in w.layers
+                if layer.kind == LayerKind.ATTENTION_SCORE
+            ) + sum(
+                layer.gemm.n * layer.repeat
+                for layer in w.layers
+                if layer.kind == LayerKind.ATTENTION_CONTEXT
+            )
+            self._kv_per_token[model] = cached
+        return cached
+
+    def kv_capacity_bytes(self, chip_id: int) -> int:
+        """On-chip bytes left for KV pages after the resident weights.
+
+        Reuses the overflow-weights capacity accounting: a chip whose
+        resident set already overflows streams its weights, so no KV
+        residency is available either (everything streams — capacity 0).
+        """
+        chip = self._plan.chips[chip_id]
+        if not chip.fits:
+            return 0
+        spec = self.group_of(chip_id).spec
+        return max(0, spec.weight_capacity_bytes - chip.weight_bytes)
+
+    def kv_overflow_service(
+        self, chip_id: int, overflow_bytes: float
+    ) -> ChipService:
+        """Stream cost of KV bytes that exceed the chip's residual capacity.
+
+        Priced exactly like overflow weights in the architecture
+        simulator: bits cross the off-chip link at ``offchip_gbps`` /
+        ``offchip_pj_per_bit``, once per decode iteration they miss.
+        """
+        spec = self.group_of(chip_id).spec
+        return ChipService(
+            latency_ns=overflow_bytes / spec.offchip_gbps,
+            energy_pj=overflow_bytes * 8.0 * spec.offchip_pj_per_bit,
+        )
 
     # -- cost oracle ---------------------------------------------------------------
     def service(

@@ -1,0 +1,552 @@
+"""`ServingConfig`: the grouped, validated serving API.
+
+``simulate_serving`` grew to 38 flat keyword arguments across eight PRs,
+with banned-composition rules scattered over ``simulate_serving`` itself,
+the ``ServingEngine`` constructor and the CLI.  This module is the
+redesign: knobs group into five sub-configs —
+
+* :class:`WorkloadConfig` — what traffic arrives (models, rates, traces,
+  sequence lengths, closed-loop sessions, tenants, regions);
+* :class:`FleetConfig` — what serves it (chips, placement, routing,
+  power envelope, autoscaling band);
+* :class:`PolicyConfig` — how it is scheduled (batching, SLO, admission,
+  tenant scheduling, preemption);
+* :class:`ObserveConfig` — what is recorded (tracing, metrics export,
+  streaming cells, engine profiling);
+* :class:`repro.serve.decode.DecodeConfig` — the autoregressive decode
+  loop (optional);
+
+assembled by :class:`ServingConfig`, whose :meth:`ServingConfig.validate`
+runs **every** banned-composition rule as one ordered table
+(:data:`COMPOSITION_RULES`) with uniform error messages.  The
+``ServingEngine`` constructor routes its own composition checks through
+the same table (:func:`validate_engine`), so an invalid pairing raises
+the identical message no matter which door it walks in through.
+
+``simulate_serving(config=...)`` is the primary entry point; the legacy
+flat-kwarg form builds a :class:`ServingConfig` via
+:meth:`ServingConfig.from_kwargs` and delegates — object-for-object
+identical results, differential-tested in ``tests/test_api_config.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.arch.accelerator import AcceleratorSpec
+from repro.serve.admission import AdmissionPolicy
+from repro.serve.clients import RetryPolicy
+from repro.serve.decode import DecodeConfig
+from repro.serve.elastic import ElasticConfig
+from repro.serve.fleet import FleetSpec, parse_fleet
+from repro.serve.power import PowerConfig
+from repro.serve.tenancy import Tenant, TenancyConfig, parse_tenants
+from repro.serve.traces import SEQLEN_DISTS
+
+if TYPE_CHECKING:  # type-only: observe pulls in metrics -> engine -> here
+    from repro.serve.observe import Observer
+    from repro.serve.streaming import StreamingMetrics
+
+#: Routing policies the engine dispatch loop implements.  Lives here (not
+#: in ``engine.py``) so the validation table can name the menu without a
+#: circular import; ``repro.serve.engine`` re-exports it.
+ROUTING_POLICIES = ("fastest", "cheapest-energy", "round-robin")
+
+
+# -- grouped sub-configs -------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class WorkloadConfig:
+    """What traffic arrives: models, rates, shapes, sessions, tenants."""
+
+    models: Sequence[str] = ()
+    rps: float = 2000.0
+    duration_s: float = 0.1
+    trace_kind: str = "poisson"
+    seed: int = 0
+    seqlen_dist: Optional[str] = None
+    seqlen_mean: Optional[int] = None
+    clients: Optional[int] = None
+    think_time_ms: float = 5.0
+    think_dist: str = "exponential"
+    retry: Optional[Union[int, RetryPolicy]] = None
+    tenants: Optional[Union[str, Sequence[Tenant], TenancyConfig]] = None
+    regions: Optional[int] = None
+    rtt_ms: float = 1.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "models", tuple(self.models))
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetConfig:
+    """What serves it: chips, placement, routing, power, autoscaling."""
+
+    n_chips: Optional[int] = None
+    spec: Optional[AcceleratorSpec] = None
+    mode: str = "batched"
+    placement: str = "replicated"
+    fleet: Optional[Union[FleetSpec, str]] = None
+    routing: str = "fastest"
+    power: Optional[PowerConfig] = None
+    power_cap_w: Optional[float] = None
+    thermal_tau_s: Optional[float] = None
+    t_max_c: Optional[float] = None
+    elastic: Optional[Union[ElasticConfig, str]] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class PolicyConfig:
+    """How it is scheduled: batching, SLO, admission, tenancy knobs."""
+
+    max_batch_size: int = 8
+    window_ms: float = 0.2
+    slo_ms: Optional[float] = None
+    seqlen_buckets: Optional[Sequence[int]] = None
+    admission: Optional[Union[str, AdmissionPolicy]] = None
+    scheduler: str = "fifo"
+    preemption: bool = False
+    preemption_overhead_ns: float = 10_000.0
+
+    def __post_init__(self) -> None:
+        if self.seqlen_buckets is not None:
+            object.__setattr__(
+                self, "seqlen_buckets", tuple(int(b) for b in self.seqlen_buckets)
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class ObserveConfig:
+    """What is recorded: tracing, metrics export, streaming, profiling."""
+
+    observe: Optional[Observer] = None
+    stream_metrics: Optional[StreamingMetrics] = None
+    trace_file: Optional[str] = None
+    metrics_file: Optional[str] = None
+    metrics_window_ms: float = 1.0
+    profile_engine: bool = False
+
+    @property
+    def active(self) -> bool:
+        """True when any observability artifact or stream is requested."""
+        return (
+            self.observe is not None
+            or self.stream_metrics is not None
+            or self.trace_file is not None
+            or self.metrics_file is not None
+            or self.profile_engine
+        )
+
+
+# -- the composition-rule table ------------------------------------------------------
+#: Exact messages of every banned composition, importable so tests (and
+#: the engine) assert/raise the one canonical wording.
+MSG_NEED_MODELS = "need at least one model to serve"
+MSG_POWER_BOTH = (
+    "pass either a full PowerConfig or the scalar power knobs, not both"
+)
+MSG_CLIENTS_MIN = "clients must be >= 1 (None for open-loop traces)"
+MSG_RETRY_OPEN_LOOP = (
+    "retry-with-backoff needs closed-loop clients; open-loop rejections "
+    "always drop"
+)
+MSG_TENANTS_CLIENTS = (
+    "multi-tenant serving is open-loop; it cannot combine with "
+    "closed-loop clients"
+)
+MSG_SCHEDULER_NEEDS_TENANTS = (
+    "scheduler/preemption knobs need a multi-tenant run; pass tenants="
+)
+MSG_PREEMPT_POWER = (
+    "preemption cannot run under a power governor: admitted batches draw "
+    "power through to their completion instant and the governor has no "
+    "cancellation edge"
+)
+MSG_PREEMPT_ELASTIC = (
+    "preemption cannot run on an elastic fleet: the deadline probe reads "
+    "every hosting chip's natural free instant, and a parked chip would "
+    "look permanently free to it"
+)
+MSG_DECODE_TENANTS = (
+    "autoregressive decode is single-workload for now: tenant queues "
+    "carry no decode lanes; pass tenants= or decode=, not both"
+)
+MSG_DECODE_CLIENTS = (
+    "autoregressive decode is open-loop for now: closed-loop sessions "
+    "block on whole responses, not tokens; pass an open-loop trace "
+    "instead of clients="
+)
+MSG_DECODE_ELASTIC = (
+    "autoregressive decode cannot run on an elastic fleet: decode "
+    "batches re-form every iteration and a draining chip would strand "
+    "half-decoded requests"
+)
+MSG_DECODE_STREAM = (
+    "autoregressive decode reports TTFT/ITL percentiles from retained "
+    "results; streaming metrics cells cannot hold per-token timings"
+)
+MSG_PD_NEEDS_DECODE = (
+    "the prefill-decode placement specializes chip groups for a decode "
+    "loop; pass decode= (--decode-dist) as well"
+)
+MSG_PD_NEEDS_GROUPS = (
+    "the prefill-decode placement pins prefill and decode to different "
+    "chip groups; pass a multi-group fleet (e.g. --fleet yoco:4,isaac:4)"
+)
+
+
+def msg_unknown_routing(routing: str) -> str:
+    return f"unknown routing {routing!r}; available: {ROUTING_POLICIES}"
+
+
+def msg_unknown_seqlen_dist(dist: str) -> str:
+    return f"unknown seqlen dist {dist!r}; available: {SEQLEN_DISTS}"
+
+
+def msg_regions_incompatible(knob: str) -> str:
+    return (
+        "multi-region runs are homogeneous open-loop diurnal studies; "
+        f"they cannot combine with {knob}"
+    )
+
+
+def _resolved_tenancy(
+    tenants: Optional[Union[str, Sequence[Tenant], TenancyConfig]],
+    policy: PolicyConfig,
+) -> Optional[TenancyConfig]:
+    """Coerce the tenants knob into a TenancyConfig (None passes through)."""
+    if tenants is None:
+        return None
+    if isinstance(tenants, TenancyConfig):
+        return tenants
+    tenant_tuple = (
+        parse_tenants(tenants) if isinstance(tenants, str) else tuple(tenants)
+    )
+    return TenancyConfig(
+        tenant_tuple,
+        scheduler=policy.scheduler,
+        preemption=policy.preemption,
+        preemption_overhead_ns=policy.preemption_overhead_ns,
+    )
+
+
+def _fleet_groups(fleet: Optional[Union[FleetSpec, str]]) -> int:
+    """Number of chip groups a fleet knob resolves to (0 = no fleet)."""
+    if fleet is None:
+        return 0
+    spec = parse_fleet(fleet) if isinstance(fleet, str) else fleet
+    return len(spec.groups)
+
+
+def _rule(check: Callable[["ServingConfig"], Optional[str]]):
+    return check
+
+
+#: The single ordered table of banned compositions.  Each row inspects a
+#: :class:`ServingConfig` and returns the canonical error message when
+#: violated (None when fine); ``validate()`` raises the first hit.  Rows
+#: marked ``# engine`` are the subset the ``ServingEngine`` constructor
+#: re-runs via :func:`validate_engine` so direct engine users get the
+#: identical wording.
+COMPOSITION_RULES: Tuple[Callable[["ServingConfig"], Optional[str]], ...] = (
+    _rule(lambda c: MSG_NEED_MODELS if not c.workload.models else None),
+    _rule(
+        lambda c: MSG_POWER_BOTH
+        if c.fleet.power is not None
+        and (
+            c.fleet.power_cap_w is not None
+            or c.fleet.thermal_tau_s is not None
+            or c.fleet.t_max_c is not None
+        )
+        else None
+    ),
+    _rule(
+        lambda c: msg_unknown_seqlen_dist(c.workload.seqlen_dist)
+        if c.workload.seqlen_dist is not None
+        and c.workload.seqlen_dist not in SEQLEN_DISTS
+        else None
+    ),
+    _rule(
+        lambda c: MSG_CLIENTS_MIN
+        if c.workload.clients is not None and c.workload.clients < 1
+        else None
+    ),
+    _rule(
+        lambda c: MSG_RETRY_OPEN_LOOP
+        if c.workload.retry is not None and c.workload.clients is None
+        else None
+    ),
+    _rule(
+        lambda c: MSG_TENANTS_CLIENTS
+        if c.workload.tenants is not None and c.workload.clients is not None
+        else None
+    ),
+    _rule(
+        lambda c: MSG_SCHEDULER_NEEDS_TENANTS
+        if c.workload.tenants is None
+        and (c.policy.scheduler != "fifo" or c.policy.preemption)
+        else None
+    ),
+    _rule(
+        lambda c: msg_unknown_routing(c.fleet.routing)  # engine
+        if c.fleet.routing not in ROUTING_POLICIES
+        else None
+    ),
+    _rule(
+        lambda c: MSG_PREEMPT_POWER  # engine
+        if c._preempting and c._has_power
+        else None
+    ),
+    _rule(
+        lambda c: MSG_PREEMPT_ELASTIC  # engine
+        if c._preempting and c.fleet.elastic is not None
+        else None
+    ),
+    _rule(
+        lambda c: MSG_DECODE_TENANTS  # engine
+        if c.decode is not None and c.workload.tenants is not None
+        else None
+    ),
+    _rule(
+        lambda c: MSG_DECODE_CLIENTS
+        if c.decode is not None and c.workload.clients is not None
+        else None
+    ),
+    _rule(
+        lambda c: MSG_DECODE_ELASTIC  # engine
+        if c.decode is not None and c.fleet.elastic is not None
+        else None
+    ),
+    _rule(
+        lambda c: MSG_DECODE_STREAM
+        if c.decode is not None and c.observe.stream_metrics is not None
+        else None
+    ),
+    _rule(
+        lambda c: MSG_PD_NEEDS_DECODE  # engine
+        if c.fleet.placement == "prefill-decode" and c.decode is None
+        else None
+    ),
+    _rule(
+        lambda c: MSG_PD_NEEDS_GROUPS
+        if c.fleet.placement == "prefill-decode"
+        and _fleet_groups(c.fleet.fleet) < 2
+        else None
+    ),
+    # Multi-region runs fan a diurnal workload over phase-shifted copies
+    # of one homogeneous cluster; every per-cluster specialization knob
+    # is rejected with the same message shape (observe x regions rows
+    # included — per-region engines run unobserved until cross-region
+    # trace merging lands, see ROADMAP).
+    _rule(
+        lambda c: c._regions_conflict()
+    ),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ServingConfig:
+    """One validated serving scenario: workload x fleet x policy x observe.
+
+    Build it directly from grouped sub-configs, or from the legacy flat
+    kwargs via :meth:`from_kwargs`.  :meth:`validate` applies
+    :data:`COMPOSITION_RULES` and returns ``self`` so call sites can
+    chain ``ServingConfig(...).validate()``.
+    """
+
+    workload: WorkloadConfig
+    fleet: FleetConfig = FleetConfig()
+    policy: PolicyConfig = PolicyConfig()
+    observe: ObserveConfig = ObserveConfig()
+    decode: Optional[DecodeConfig] = None
+
+    # -- derived views the rule table reads ------------------------------------
+    @property
+    def _has_power(self) -> bool:
+        return (
+            self.fleet.power is not None
+            or self.fleet.power_cap_w is not None
+            or self.fleet.t_max_c is not None
+        )
+
+    @property
+    def _preempting(self) -> bool:
+        if isinstance(self.workload.tenants, TenancyConfig):
+            return self.workload.tenants.preemption
+        if self.workload.tenants is not None:
+            return self.policy.preemption
+        return False
+
+    def _regions_conflict(self) -> Optional[str]:
+        if self.workload.regions is None:
+            return None
+        w, f, p, o = self.workload, self.fleet, self.policy, self.observe
+        conflicts: List[Tuple[bool, str]] = [
+            (f.fleet is not None, "--fleet"),
+            (w.seqlen_dist is not None, "--seqlen-dist"),
+            (w.clients is not None, "--clients"),
+            (w.retry is not None, "--retries"),
+            (p.admission is not None, "--admission"),
+            (w.tenants is not None, "--tenants"),
+            (self._has_power, "--power-cap/--t-max"),
+            (o.stream_metrics is not None, "--progress"),
+            (o.trace_file is not None, "--trace-out"),
+            (o.metrics_file is not None, "--metrics-out"),
+            (o.profile_engine, "--profile-engine"),
+            (o.observe is not None, "observe="),
+            (self.decode is not None, "--decode-dist"),
+        ]
+        for broken, knob in conflicts:
+            if broken:
+                return msg_regions_incompatible(knob)
+        return None
+
+    def validate(self) -> "ServingConfig":
+        """Apply every composition rule; raise the first violation."""
+        for check in COMPOSITION_RULES:
+            message = check(self)
+            if message is not None:
+                raise ValueError(message)
+        # Tenant model declarations must name served models (needs the
+        # parsed tenancy, so it sits after the table proper).
+        tenancy = _resolved_tenancy(self.workload.tenants, self.policy)
+        if tenancy is not None:
+            models = self.workload.models
+            for tenant in tenancy.tenants:
+                unknown = [m for m in tenant.models if m not in models]
+                if unknown:
+                    raise ValueError(
+                        f"tenant {tenant.name!r} calls {unknown} but the "
+                        f"run serves {list(models)}"
+                    )
+        return self
+
+    # -- construction helpers --------------------------------------------------
+    @classmethod
+    def from_kwargs(
+        cls,
+        models: Sequence[str] = (),
+        n_chips: Optional[int] = None,
+        rps: float = 2000.0,
+        duration_s: float = 0.1,
+        trace_kind: str = "poisson",
+        seed: int = 0,
+        spec: Optional[AcceleratorSpec] = None,
+        mode: str = "batched",
+        placement: str = "replicated",
+        max_batch_size: int = 8,
+        window_ms: float = 0.2,
+        slo_ms: Optional[float] = None,
+        seqlen_dist: Optional[str] = None,
+        seqlen_mean: Optional[int] = None,
+        seqlen_buckets: Optional[Sequence[int]] = None,
+        fleet: Optional[Union[FleetSpec, str]] = None,
+        routing: str = "fastest",
+        power: Optional[PowerConfig] = None,
+        power_cap_w: Optional[float] = None,
+        thermal_tau_s: Optional[float] = None,
+        t_max_c: Optional[float] = None,
+        clients: Optional[int] = None,
+        think_time_ms: float = 5.0,
+        think_dist: str = "exponential",
+        retry: Optional[Union[int, RetryPolicy]] = None,
+        admission: Optional[Union[str, AdmissionPolicy]] = None,
+        tenants: Optional[Union[str, Sequence[Tenant], TenancyConfig]] = None,
+        scheduler: str = "fifo",
+        preemption: bool = False,
+        preemption_overhead_ns: float = 10_000.0,
+        stream_metrics: Optional[StreamingMetrics] = None,
+        elastic: Optional[Union[ElasticConfig, str]] = None,
+        observe: Optional[Observer] = None,
+        trace_file: Optional[str] = None,
+        metrics_file: Optional[str] = None,
+        metrics_window_ms: float = 1.0,
+        profile_engine: bool = False,
+        decode: Optional[DecodeConfig] = None,
+    ) -> "ServingConfig":
+        """Group the legacy flat ``simulate_serving`` kwargs."""
+        return cls(
+            workload=WorkloadConfig(
+                models=tuple(models) if models else (),
+                rps=rps,
+                duration_s=duration_s,
+                trace_kind=trace_kind,
+                seed=seed,
+                seqlen_dist=seqlen_dist,
+                seqlen_mean=seqlen_mean,
+                clients=clients,
+                think_time_ms=think_time_ms,
+                think_dist=think_dist,
+                retry=retry,
+                tenants=tenants,
+            ),
+            fleet=FleetConfig(
+                n_chips=n_chips,
+                spec=spec,
+                mode=mode,
+                placement=placement,
+                fleet=fleet,
+                routing=routing,
+                power=power,
+                power_cap_w=power_cap_w,
+                thermal_tau_s=thermal_tau_s,
+                t_max_c=t_max_c,
+                elastic=elastic,
+            ),
+            policy=PolicyConfig(
+                max_batch_size=max_batch_size,
+                window_ms=window_ms,
+                slo_ms=slo_ms,
+                seqlen_buckets=seqlen_buckets,
+                admission=admission,
+                scheduler=scheduler,
+                preemption=preemption,
+                preemption_overhead_ns=preemption_overhead_ns,
+            ),
+            observe=ObserveConfig(
+                observe=observe,
+                stream_metrics=stream_metrics,
+                trace_file=trace_file,
+                metrics_file=metrics_file,
+                metrics_window_ms=metrics_window_ms,
+                profile_engine=profile_engine,
+            ),
+            decode=decode,
+        )
+
+
+def validate_engine(
+    routing: str,
+    power: Optional[PowerConfig],
+    tenancy: Optional[TenancyConfig],
+    elastic: Optional[ElasticConfig],
+    decode: Optional[DecodeConfig],
+    placement: str = "replicated",
+) -> None:
+    """Re-run the engine-relevant rows of :data:`COMPOSITION_RULES`.
+
+    The ``ServingEngine`` constructor calls this with its resolved
+    arguments so direct engine construction raises the identical
+    messages as ``ServingConfig.validate()`` — one table, two doors.
+    """
+    preempting = tenancy is not None and tenancy.preemption
+    if routing not in ROUTING_POLICIES:
+        raise ValueError(msg_unknown_routing(routing))
+    if preempting and power is not None:
+        raise ValueError(MSG_PREEMPT_POWER)
+    if preempting and elastic is not None:
+        raise ValueError(MSG_PREEMPT_ELASTIC)
+    if decode is not None and tenancy is not None:
+        raise ValueError(MSG_DECODE_TENANTS)
+    if decode is not None and elastic is not None:
+        raise ValueError(MSG_DECODE_ELASTIC)
+    if placement == "prefill-decode" and decode is None:
+        raise ValueError(MSG_PD_NEEDS_DECODE)

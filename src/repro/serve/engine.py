@@ -41,6 +41,7 @@ import dataclasses
 import functools
 import heapq
 import math
+from collections import deque
 
 import numpy as np
 from typing import (
@@ -57,7 +58,14 @@ from typing import (
 from repro.serve.admission import AdmissionPolicy, parse_admission
 from repro.serve.batching import Batch, BatchingPolicy, ModelQueue
 from repro.serve.clients import ClientPopulation, ClosedLoopDriver
-from repro.serve.cluster import Cluster
+from repro.serve.cluster import ChipService, Cluster
+from repro.serve.config import (
+    MSG_DECODE_CLIENTS,
+    MSG_DECODE_STREAM,
+    ROUTING_POLICIES,
+    validate_engine,
+)
+from repro.serve.decode import DecodeConfig, page_round
 from repro.serve.elastic import (
     ElasticConfig,
     ElasticController,
@@ -83,15 +91,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 #: the instant's fully settled state).
 _COMPLETION, _ARRIVAL, _WINDOW, _SCALE = 0, 1, 2, 3
 
-#: Chip-routing policies for fleets whose chips are not interchangeable:
-#: ``fastest`` prices the pending batch on every free hosting chip and
-#: takes the lowest latency, ``cheapest-energy`` the lowest energy, and
-#: ``round-robin`` rotates over a model's hosts regardless of cost.  On a
-#: homogeneous fleet the two cost-aware policies tie on every chip and
-#: their tiebreak degenerates to the lowest free chip id — the original
-#: dispatch rule, bit for bit; ``round-robin`` still rotates and so
-#: spreads work differently even there.
-ROUTING_POLICIES = ("fastest", "cheapest-energy", "round-robin")
+# ``ROUTING_POLICIES`` (fastest / cheapest-energy / round-robin) now
+# lives in :mod:`repro.serve.config` — the one composition-rule table —
+# and is re-exported here for the long-standing import path.
 
 
 @dataclasses.dataclass(frozen=True)
@@ -102,6 +104,17 @@ class ServedRequest:
     the length its batch actually ran at (its seqlen bucket, or the batch
     max without bucketing).  Both are 0 on the native path — CNN requests
     and traces generated without a sequence-length distribution.
+
+    When the run had an autoregressive decode loop, ``decode_tokens`` is
+    the request's sampled output length (= its decode iterations),
+    ``first_token_ns`` the prefill completion instant (the TTFT stamp),
+    ``chip_id`` the chip of the *final* decode iteration, ``finish_ns``
+    the last token's completion, and ``energy_pj`` the prefill share plus
+    every decode-iteration share.  ``kv_bytes`` accumulates the request's
+    paged KV-cache footprint over all its decode iterations and
+    ``kv_overflow_bytes`` the part of it that spilled off-chip.  All four
+    are 0 on the no-decode path — the record is then byte-for-byte the
+    PR 2 one.
     """
 
     request: Request
@@ -112,6 +125,10 @@ class ServedRequest:
     energy_pj: float  # this request's share of its batch's energy
     seq_len: int = 0
     padded_seq_len: int = 0
+    decode_tokens: int = 0
+    first_token_ns: float = 0.0
+    kv_bytes: float = 0.0
+    kv_overflow_bytes: float = 0.0
 
     @property
     def latency_ns(self) -> float:
@@ -132,6 +149,24 @@ class ServedRequest:
     def padding_tokens(self) -> int:
         """Tokens this request's padded slot wasted."""
         return max(0, self.padded_seq_len - self.seq_len)
+
+    @property
+    def ttft_ns(self) -> float:
+        """Time to first token: arrival to prefill completion.
+
+        Without a decode loop the whole response materializes at once,
+        so TTFT degenerates to the full latency — never larger than it.
+        """
+        if self.decode_tokens:
+            return self.first_token_ns - self.request.arrival_ns
+        return self.latency_ns
+
+    @property
+    def itl_ns(self) -> float:
+        """Mean inter-token latency over the decode loop (0 = no decode)."""
+        if not self.decode_tokens:
+            return 0.0
+        return (self.finish_ns - self.first_token_ns) / self.decode_tokens
 
 
 @dataclasses.dataclass(frozen=True)
@@ -171,6 +206,69 @@ class _InFlight:
     busy_ns: float
     share_pj: float  # per-request energy share
     padded: int
+
+
+class _DecodeEntry:
+    """One prefilled request working through its decode loop.
+
+    Mutable on purpose: the entry hops between the per-model decode FIFO
+    and the in-flight decode batch once per generated token, accumulating
+    context length, energy and KV traffic as it goes.  ``ctx`` is the
+    current context (prompt + generated so far) the *next* iteration runs
+    at; ``remaining`` counts down from the sampled output length.
+    """
+
+    __slots__ = (
+        "request", "ctx", "remaining", "total", "first_token_ns",
+        "energy_pj", "kv_bytes", "kv_overflow", "prefill_dispatch_ns",
+        "prefill_batch", "seq_len", "padded_seq_len",
+    )
+
+    def __init__(
+        self,
+        request: Request,
+        ctx: int,
+        first_token_ns: float,
+        energy_pj: float,
+        prefill_dispatch_ns: float,
+        prefill_batch: int,
+        seq_len: int,
+        padded_seq_len: int,
+    ) -> None:
+        self.request = request
+        self.ctx = ctx
+        self.remaining = request.decode_tokens
+        self.total = request.decode_tokens
+        self.first_token_ns = first_token_ns
+        self.energy_pj = energy_pj
+        self.kv_bytes = 0.0
+        self.kv_overflow = 0.0
+        self.prefill_dispatch_ns = prefill_dispatch_ns
+        self.prefill_batch = prefill_batch
+        self.seq_len = seq_len
+        self.padded_seq_len = padded_seq_len
+
+
+@dataclasses.dataclass
+class _DecodeInFlight:
+    """One decode iteration occupying a chip (a completion-event payload).
+
+    ``footprints`` carries each member's paged KV footprint for the
+    iteration (the per-entry share key for the batch's ``overflow``
+    bytes); all floats were fixed at dispatch, exactly like
+    :class:`_InFlight`.
+    """
+
+    entries: List[_DecodeEntry]
+    model_index: int
+    chip_id: int
+    dispatch_ns: float
+    finish_ns: float
+    busy_ns: float
+    share_pj: float  # per-request energy share of the iteration
+    footprints: Tuple[float, ...]
+    total_kv: float
+    overflow: float  # KV bytes past on-chip capacity, streamed off-chip
 
 
 @dataclasses.dataclass(frozen=True)
@@ -260,6 +358,14 @@ class ServingResult:
     stats: Optional[EngineStats] = dataclasses.field(
         default=None, compare=False
     )
+    #: Autoregressive-decode roll-ups: iterations dispatched, tokens
+    #: generated, total paged KV bytes the decode loop touched and the
+    #: part of them that overflowed off-chip.  All 0 when the run had no
+    #: decode loop (``decode=None``), so legacy results are unchanged.
+    n_decode_iters: int = 0
+    n_decode_tokens: int = 0
+    kv_bytes: float = 0.0
+    kv_overflow_bytes: float = 0.0
 
     @property
     def n_requests(self) -> int:
@@ -362,6 +468,18 @@ class ServingResult:
         return tuple(dict.fromkeys(s.request.model for s in self.served))
 
     @property
+    def has_decode(self) -> bool:
+        """Did the run generate tokens through a decode loop?"""
+        return self.n_decode_tokens > 0
+
+    @property
+    def kv_overflow(self) -> float:
+        """Off-chip fraction of the decode loop's KV traffic (0 = all resident)."""
+        if self.kv_bytes <= 0:
+            return 0.0
+        return self.kv_overflow_bytes / self.kv_bytes
+
+    @property
     def n_preemptions(self) -> int:
         """Batches killed mid-service by a latency-critical arrival."""
         return len(self.preempted)
@@ -424,25 +542,16 @@ class ServingEngine:
         tenancy: Optional[TenancyConfig] = None,
         elastic: Optional[ElasticConfig] = None,
         profile: bool = False,
+        decode: Optional[DecodeConfig] = None,
     ) -> None:
-        if routing not in ROUTING_POLICIES:
-            raise ValueError(
-                f"unknown routing {routing!r}; available: {ROUTING_POLICIES}"
-            )
+        # Every banned composition raises out of the one rule table in
+        # repro.serve.config, so the direct-construction door and the
+        # ServingConfig door produce identical messages.
+        validate_engine(
+            routing, power, tenancy, elastic, decode, cluster.placement
+        )
         if isinstance(admission, str):
             admission = parse_admission(admission)
-        if tenancy is not None and tenancy.preemption and power is not None:
-            raise ValueError(
-                "preemption cannot run under a power governor: admitted "
-                "batches draw power through to their completion instant "
-                "and the governor has no cancellation edge"
-            )
-        if tenancy is not None and tenancy.preemption and elastic is not None:
-            raise ValueError(
-                "preemption cannot run on an elastic fleet: the deadline "
-                "probe reads every hosting chip's natural free instant, "
-                "and a parked chip would look permanently free to it"
-            )
         if elastic is not None:
             # Fail early on a band the fleet cannot satisfy (max_chips of
             # None resolves at run time against the actual fleet size).
@@ -454,6 +563,7 @@ class ServingEngine:
         self._admission = admission
         self._tenancy = tenancy
         self._elastic = elastic
+        self._decode = decode
         #: Collect the per-event-kind :class:`EngineProfile` during runs
         #: (``--profile-engine``); off by default — the hot loop then
         #: pays nothing beyond one falsy branch per event.
@@ -489,6 +599,10 @@ class ServingEngine:
     @property
     def elastic(self) -> Optional[ElasticConfig]:
         return self._elastic
+
+    @property
+    def decode(self) -> Optional[DecodeConfig]:
+        return self._decode
 
     def run(
         self,
@@ -536,6 +650,12 @@ class ServingEngine:
                 "pass an open-loop trace or a closed-loop client "
                 "population, not both"
             )
+        decode_cfg = self._decode
+        if decode_cfg is not None:
+            if clients is not None:
+                raise ValueError(MSG_DECODE_CLIENTS)
+            if stream is not None:
+                raise ValueError(MSG_DECODE_STREAM)
         tenancy = self._tenancy
         if clients is not None and tenancy is not None:
             raise ValueError(
@@ -590,6 +710,19 @@ class ServingEngine:
                 )
             if request.seq_len:
                 has_seqlens = True
+            if request.decode_tokens:
+                if decode_cfg is None:
+                    raise ValueError(
+                        "trace request carries decode_tokens but the "
+                        "engine has no decode loop; pass decode= (a "
+                        "DecodeConfig)"
+                    )
+                if cluster.native_seq_len(request.model) == 0:
+                    raise ValueError(
+                        f"decode request for {request.model!r} but the "
+                        "workload has no token axis; autoregressive "
+                        "decode needs a transformer workload"
+                    )
             if request.arrival_ns < prev_arrival:
                 time_sorted = False
             else:
@@ -622,6 +755,7 @@ class ServingEngine:
                         )
         if (
             elastic_cfg is None
+            and decode_cfg is None
             and driver is None
             and tenancy is None
             and admission is None
@@ -706,16 +840,105 @@ class ServingEngine:
         chip_models: Tuple[Tuple[str, ...], ...] = tuple(
             cluster.plan.chips[c].models for c in range(cluster.n_chips)
         )
-        slots_by_chip: Tuple[Tuple[int, ...], ...] = tuple(
-            tuple(
-                sorted(
-                    slot_index[(t, m)]
-                    for m in chip_models[c]
-                    for t in tenant_order
+        # -- decode state ---------------------------------------------------
+        # One decode FIFO per model, addressed as virtual slots past the
+        # prefill slots (index n_pslots + model index): the dirty-set
+        # dispatch scan then covers both phases with one mechanism.  Under
+        # the prefill-decode placement, prefill dispatch is restricted to
+        # fleet group 0 and decode to the remaining groups; unified
+        # clusters run both phases on every chip.  Tenancy, clients and
+        # elastic fleets are banned with decode (one rule table), so the
+        # decode path never interacts with those branches.
+        decode_on = decode_cfg is not None
+        n_pslots = len(slots)
+        if decode_on:
+            model_index: Dict[str, int] = {
+                m: i for i, m in enumerate(model_order)
+            }
+            decode_queues: List[deque] = [deque() for _ in model_order]
+            if cluster.disaggregated:
+                pset = set(cluster.prefill_chips)
+                dset = set(cluster.decode_chips)
+                chip_is_prefill = [
+                    c in pset for c in range(cluster.n_chips)
+                ]
+                chip_is_decode = [c in dset for c in range(cluster.n_chips)]
+                hosts = {
+                    m: tuple(c for c in cs if chip_is_prefill[c])
+                    for m, cs in hosts.items()
+                }
+                for m, cs in hosts.items():
+                    if not cs:
+                        raise ValueError(
+                            f"model {m!r} has no hosting chip in the "
+                            "prefill group; the prefill-decode placement "
+                            "needs every model on fleet group 0"
+                        )
+            else:
+                chip_is_prefill = [True] * cluster.n_chips
+                chip_is_decode = [True] * cluster.n_chips
+            d_hosts: Dict[str, Tuple[int, ...]] = {
+                m: tuple(
+                    c for c in cluster.chips_for(m) if chip_is_decode[c]
                 )
+                for m in model_order
+            }
+            for m, cs in d_hosts.items():
+                if cluster.native_seq_len(m) and not cs:
+                    raise ValueError(
+                        f"model {m!r} has no hosting chip in the decode "
+                        "group; its decode queue could never drain"
+                    )
+            kv_per_token = {
+                m: cluster.kv_bytes_per_token(m) for m in model_order
+            }
+            kv_cap = [
+                cluster.kv_capacity_bytes(c) for c in range(cluster.n_chips)
+            ]
+            page = decode_cfg.page_tokens
+            d_free_count: Dict[str, int] = {
+                m: len(d_hosts[m]) for m in model_order
+            }
+            d_rr_next: Dict[str, int] = {m: 0 for m in model_order}
+        n_decode_iters = 0
+        n_decode_tokens = 0
+        kv_total = 0.0
+        kv_overflow_total = 0.0
+        if not decode_on:
+            slots_by_chip: Tuple[Tuple[int, ...], ...] = tuple(
+                tuple(
+                    sorted(
+                        slot_index[(t, m)]
+                        for m in chip_models[c]
+                        for t in tenant_order
+                    )
+                )
+                for c in range(cluster.n_chips)
             )
-            for c in range(cluster.n_chips)
-        )
+        else:
+            slots_by_chip = tuple(
+                tuple(
+                    sorted(
+                        (
+                            [
+                                slot_index[("", m)]
+                                for m in chip_models[c]
+                            ]
+                            if chip_is_prefill[c]
+                            else []
+                        )
+                        + (
+                            [
+                                n_pslots + model_index[m]
+                                for m in chip_models[c]
+                            ]
+                            if chip_is_decode[c]
+                            else []
+                        )
+                    )
+                )
+                for c in range(cluster.n_chips)
+            )
         is_free = [True] * cluster.n_chips
         free_count: Dict[str, int] = {m: len(hosts[m]) for m in model_order}
         free_heap: List[Tuple[float, int]] = []
@@ -836,9 +1059,32 @@ class ServingEngine:
         def mark_free(chip: int) -> None:
             """Index a chip as free and dirty every slot it could serve."""
             is_free[chip] = True
-            for m in chip_models[chip]:
-                free_count[m] += 1
+            if not decode_on:
+                for m in chip_models[chip]:
+                    free_count[m] += 1
+            else:
+                if chip_is_prefill[chip]:
+                    for m in chip_models[chip]:
+                        free_count[m] += 1
+                if chip_is_decode[chip]:
+                    for m in chip_models[chip]:
+                        d_free_count[m] += 1
             dirty.update(slots_by_chip[chip])
+
+        def claim_chip(chip: int) -> None:
+            """Drop a chip from the free index (dispatch is occupying it)."""
+            if is_free[chip]:
+                is_free[chip] = False
+                if not decode_on:
+                    for m in chip_models[chip]:
+                        free_count[m] -= 1
+                else:
+                    if chip_is_prefill[chip]:
+                        for m in chip_models[chip]:
+                            free_count[m] -= 1
+                    if chip_is_decode[chip]:
+                        for m in chip_models[chip]:
+                            d_free_count[m] -= 1
 
         def pick_chip(
             slot: Tuple[str, str], free: List[int], now: float
@@ -936,10 +1182,7 @@ class ServingEngine:
             else:
                 finish = now + service_ns
                 busy_ns = service_ns
-            if is_free[chip]:
-                is_free[chip] = False
-                for m in chip_models[chip]:
-                    free_count[m] -= 1
+            claim_chip(chip)
             chip_free[chip] = finish
             heapq.heappush(free_heap, (finish, chip))
             inflight = _InFlight(
@@ -966,6 +1209,116 @@ class ServingEngine:
                     overhead_ns,
                 )
 
+        def pick_decode_chip(
+            model: str,
+            free: List[int],
+            size: int,
+            ctx_pad: int,
+            total_kv: float,
+        ) -> int:
+            """Route a decode iteration to one free decode-side chip.
+
+            Cost-aware policies price the full iteration — the decode
+            pass at the page-rounded context plus, per candidate, the
+            off-chip streaming cost of whatever KV would not fit that
+            chip — so ``fastest`` steers toward chips with KV headroom.
+            Ties break toward the lowest chip id, as everywhere.
+            """
+            if routing == "round-robin":
+                model_hosts = d_hosts[model]
+                start = d_rr_next[model]
+                free_set = set(free)
+                for offset in range(len(model_hosts)):
+                    chip = model_hosts[(start + offset) % len(model_hosts)]
+                    if chip in free_set:
+                        d_rr_next[model] = (
+                            start + offset + 1
+                        ) % len(model_hosts)
+                        return chip
+                raise RuntimeError("no free chip among hosts")  # unreachable
+
+            def price(c: int) -> Tuple[float, float]:
+                svc = cluster.decode_service(c, model, size, ctx_pad)
+                over = total_kv - kv_cap[c]
+                if over > 0:
+                    spill = cluster.kv_overflow_service(c, over)
+                    svc = ChipService(
+                        svc.latency_ns + spill.latency_ns,
+                        svc.energy_pj + spill.energy_pj,
+                    )
+                lat = (
+                    throttler.priced_latency(c, svc)
+                    if throttler is not None
+                    else svc.latency_ns
+                )
+                return lat, svc.energy_pj
+
+            if routing == "fastest":
+                return min(free, key=lambda c: (price(c)[0], c))
+            return min(
+                free, key=lambda c: (price(c)[1], price(c)[0], c)
+            )
+
+        def dispatch_decode(mi: int, now: float) -> None:
+            """Form and commit one decode iteration for model ``mi``.
+
+            Continuous batching: the batch is whatever the decode FIFO
+            holds right now (up to the batch cap) — finished requests
+            already left, freshly prefilled ones already joined.  The
+            iteration runs at the longest member's context rounded up to
+            the KV page size, and KV past the chip's residual on-chip
+            capacity streams at the overflow-weights cost.
+            """
+            nonlocal seq, n_decode_iters
+            model = model_order[mi]
+            dq = decode_queues[mi]
+            take = min(len(dq), max_batch)
+            entries = [dq.popleft() for _ in range(take)]
+            ctx_pad = page_round(max(e.ctx for e in entries), page)
+            per_tok = kv_per_token[model]
+            footprints = tuple(
+                per_tok * page_round(e.ctx, page) for e in entries
+            )
+            total_kv = float(sum(footprints))
+            free = [c for c in d_hosts[model] if is_free[c]]
+            chip = pick_decode_chip(model, free, take, ctx_pad, total_kv)
+            svc = cluster.decode_service(chip, model, take, ctx_pad)
+            overflow = total_kv - kv_cap[chip]
+            if overflow > 0:
+                spill = cluster.kv_overflow_service(chip, overflow)
+                cost = ChipService(
+                    svc.latency_ns + spill.latency_ns,
+                    svc.energy_pj + spill.energy_pj,
+                )
+            else:
+                overflow = 0.0
+                cost = svc
+            if governor is not None:
+                service_ns = governor.admit(chip, now, cost)
+            else:
+                service_ns = cost.latency_ns
+            finish = now + service_ns
+            claim_chip(chip)
+            chip_free[chip] = finish
+            heapq.heappush(free_heap, (finish, chip))
+            inflight = _DecodeInFlight(
+                entries=entries,
+                model_index=mi,
+                chip_id=chip,
+                dispatch_ns=now,
+                finish_ns=finish,
+                busy_ns=service_ns,
+                share_pj=cost.energy_pj / take,
+                footprints=footprints,
+                total_kv=total_kv,
+                overflow=overflow,
+            )
+            heapq.heappush(events, (finish, _COMPLETION, seq, inflight))
+            seq += 1
+            n_decode_iters += 1
+            if obs is not None:
+                obs.decode_iter(now, chip, model, take, ctx_pad, finish)
+
         def dispatch(now: float) -> None:
             """Scan the dirty slots (ascending index) and dispatch winners.
 
@@ -991,6 +1344,22 @@ class ServingEngine:
                 best = None
                 n_slot_scans += len(dirty)
                 for index in sorted(dirty):
+                    if decode_on and index >= n_pslots:
+                        # Decode slot: always window-ready (continuous
+                        # batching re-forms the batch at every free
+                        # instant); eligible whenever the FIFO is
+                        # non-empty and a decode-side host is free.
+                        dq = decode_queues[index - n_pslots]
+                        if not dq:
+                            continue
+                        if not d_free_count[model_order[index - n_pslots]]:
+                            continue
+                        key = scheduler.key(
+                            "", dq[0].request.arrival_ns, index
+                        )
+                        if best is None or key < best[0]:
+                            best = (key, index)
+                        continue
                     queue = queue_list[index]
                     if not queue._size:
                         continue
@@ -1014,6 +1383,9 @@ class ServingEngine:
                     dirty.clear()
                     return
                 index = best[1]
+                if decode_on and index >= n_pslots:
+                    dispatch_decode(index - n_pslots, now)
+                    continue
                 model = model_list[index]
                 free = [c for c in hosts[model] if is_free[c]]
                 if fast_route[model]:
@@ -1259,6 +1631,61 @@ class ServingEngine:
                                 push_arrival(outcome.next_request)
             elif kind == _COMPLETION:
                 inflight = payload
+                if decode_on and type(inflight) is _DecodeInFlight:
+                    # One decode iteration finished: every member gained
+                    # a token.  Finished requests materialize their
+                    # ServedRequest (stamped with prefill dispatch/TTFT
+                    # and the decode-accumulated energy/KV); the rest
+                    # requeue at the FIFO tail, and the slot re-dirties
+                    # so the next iteration's batch re-forms at once.
+                    chip_busy[inflight.chip_id] += inflight.busy_ns
+                    if inflight.finish_ns > makespan:
+                        makespan = inflight.finish_ns
+                    mi = inflight.model_index
+                    dq = decode_queues[mi]
+                    share = inflight.share_pj
+                    total_kv = inflight.total_kv
+                    batch_overflow = inflight.overflow
+                    requeued = False
+                    for entry, footprint in zip(
+                        inflight.entries, inflight.footprints
+                    ):
+                        entry.ctx += 1
+                        entry.remaining -= 1
+                        entry.energy_pj += share
+                        entry.kv_bytes += footprint
+                        if batch_overflow:
+                            entry.kv_overflow += batch_overflow * (
+                                footprint / total_kv
+                            )
+                        if entry.remaining == 0:
+                            n_decode_tokens += entry.total
+                            kv_total += entry.kv_bytes
+                            kv_overflow_total += entry.kv_overflow
+                            served.append(
+                                ServedRequest(
+                                    request=entry.request,
+                                    chip_id=inflight.chip_id,
+                                    batch_size=entry.prefill_batch,
+                                    dispatch_ns=entry.prefill_dispatch_ns,
+                                    finish_ns=inflight.finish_ns,
+                                    energy_pj=entry.energy_pj,
+                                    seq_len=entry.seq_len,
+                                    padded_seq_len=entry.padded_seq_len,
+                                    decode_tokens=entry.total,
+                                    first_token_ns=entry.first_token_ns,
+                                    kv_bytes=entry.kv_bytes,
+                                    kv_overflow_bytes=entry.kv_overflow,
+                                )
+                            )
+                        else:
+                            dq.append(entry)
+                            requeued = True
+                    if requeued:
+                        dirty.add(n_pslots + mi)
+                    if dirty:
+                        dispatch(now)
+                    continue
                 if inflight.key in cancelled:
                     # Preempted mid-service: the wasted time was charged
                     # and the requests requeued at preemption time; the
@@ -1287,6 +1714,57 @@ class ServingEngine:
                     )
                 if stream is not None:
                     stream._observe(inflight)
+                elif decode_on:
+                    # Prefill finished: requests with a sampled output
+                    # length enter their model's decode FIFO (their first
+                    # token just materialized — the TTFT stamp); requests
+                    # without one are complete, exactly as before.
+                    mi = model_index[batch.model]
+                    dq = decode_queues[mi]
+                    woke = False
+                    for request in batch.requests:
+                        if request.decode_tokens:
+                            dq.append(
+                                _DecodeEntry(
+                                    request=request,
+                                    ctx=(
+                                        request.seq_len
+                                        or cluster.native_seq_len(
+                                            batch.model
+                                        )
+                                    ),
+                                    first_token_ns=inflight.finish_ns,
+                                    energy_pj=inflight.share_pj,
+                                    prefill_dispatch_ns=inflight.dispatch_ns,
+                                    prefill_batch=batch.size,
+                                    seq_len=request.seq_len,
+                                    padded_seq_len=(
+                                        inflight.padded
+                                        if request.seq_len
+                                        else 0
+                                    ),
+                                )
+                            )
+                            woke = True
+                        else:
+                            served.append(
+                                ServedRequest(
+                                    request=request,
+                                    chip_id=inflight.chip_id,
+                                    batch_size=batch.size,
+                                    dispatch_ns=inflight.dispatch_ns,
+                                    finish_ns=inflight.finish_ns,
+                                    energy_pj=inflight.share_pj,
+                                    seq_len=request.seq_len,
+                                    padded_seq_len=(
+                                        inflight.padded
+                                        if request.seq_len
+                                        else 0
+                                    ),
+                                )
+                            )
+                    if woke:
+                        dirty.add(n_pslots + mi)
                 else:
                     for request in batch.requests:
                         served.append(
@@ -1451,6 +1929,8 @@ class ServingEngine:
         if obs is not None:
             obs.finish(makespan)
         leftover = sum(len(q) for q in queues.values())
+        if decode_on:
+            leftover += sum(len(dq) for dq in decode_queues)
         if leftover:
             raise RuntimeError(f"{leftover} requests never dispatched")
         served.sort(key=lambda s: (s.request.arrival_ns, s.request.request_id))
@@ -1483,6 +1963,10 @@ class ServingEngine:
             elastic=elastic_trace,
             stream=stream,
             stats=self.last_stats,
+            n_decode_iters=n_decode_iters,
+            n_decode_tokens=n_decode_tokens,
+            kv_bytes=kv_total,
+            kv_overflow_bytes=kv_overflow_total,
         )
 
     def _run_turbo(

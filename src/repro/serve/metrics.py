@@ -85,6 +85,14 @@ class ModelServingStats:
     tokens_per_s: float = 0.0  # real-token goodput over the makespan
     energy_per_token_nj: float = 0.0  # energy over *real* tokens
     padding_overhead: float = 0.0  # wasted fraction of processed tokens
+    # Decode-loop accounting; populated only when requests ran an
+    # autoregressive decode loop (has_decode gates the report columns).
+    ttft_p50_ms: float = 0.0  # time to first token (prefill completion)
+    ttft_p99_ms: float = 0.0
+    itl_p50_ms: float = 0.0  # mean inter-token latency per request
+    itl_p99_ms: float = 0.0
+    mean_decode_tokens: float = 0.0  # generated tokens per request
+    kv_overflow: float = 0.0  # off-chip fraction of decode KV traffic
 
 
 @dataclasses.dataclass(frozen=True)
@@ -195,10 +203,23 @@ class ServingReport:
     # engine collapses to the legacy path — keep the format byte for
     # byte).
     elastic: Optional[ElasticTrace] = None
+    # Autoregressive-decode accounting (has_decode gates the report line
+    # and the TTFT/ITL columns; decode=None runs keep the legacy format
+    # byte for byte).
+    n_decode_iters: int = 0
+    decode_tokens_per_s: float = 0.0  # generated-token rate over makespan
+    kv_overflow: float = 0.0  # off-chip fraction of decode KV traffic
 
     @property
     def has_tokens(self) -> bool:
         return any(m.mean_seq_len > 0 for m in self.per_model)
+
+    @property
+    def has_decode(self) -> bool:
+        """Did the run generate tokens through a decode loop?"""
+        return self.n_decode_iters > 0 or any(
+            m.mean_decode_tokens > 0 for m in self.per_model
+        )
 
     @property
     def has_admission(self) -> bool:
@@ -334,6 +355,28 @@ def _retained_sections(
         tokens = sum(s.seq_len for s in served)
         padded = sum(s.padded_seq_len for s in served)
         p50, p95, p99 = _percentiles_from_sorted(ordered, (50, 95, 99))
+        decoded = [s for s in served if s.decode_tokens]
+        if decoded:
+            t50, t99 = _percentiles_from_sorted(
+                sorted(s.ttft_ns * 1e-6 for s in decoded), (50, 99)
+            )
+            i50, i99 = _percentiles_from_sorted(
+                sorted(s.itl_ns * 1e-6 for s in decoded), (50, 99)
+            )
+            kv = sum(s.kv_bytes for s in decoded)
+            kv_spilled = sum(s.kv_overflow_bytes for s in decoded)
+            decode_stats = dict(
+                ttft_p50_ms=t50,
+                ttft_p99_ms=t99,
+                itl_p50_ms=i50,
+                itl_p99_ms=i99,
+                mean_decode_tokens=(
+                    sum(s.decode_tokens for s in decoded) / len(served)
+                ),
+                kv_overflow=kv_spilled / kv if kv > 0 else 0.0,
+            )
+        else:
+            decode_stats = {}
         per_model.append(
             ModelServingStats(
                 model=model,
@@ -355,6 +398,7 @@ def _retained_sections(
                 padding_overhead=(
                     (padded - tokens) / padded if padded else 0.0
                 ),
+                **decode_stats,
             )
         )
     per_chip_type = []
@@ -642,6 +686,11 @@ def summarize(
         n_preemptions=result.n_preemptions,
         preempted_wasted_ms=result.preempted_wasted_ns * 1e-6,
         elastic=result.elastic,
+        n_decode_iters=result.n_decode_iters,
+        decode_tokens_per_s=(
+            result.n_decode_tokens / duration_s if duration_s > 0 else 0.0
+        ),
+        kv_overflow=result.kv_overflow,
     )
 
 
@@ -708,6 +757,12 @@ def format_serving(report: ServingReport) -> str:
             f"padding overhead  : {100 * report.padding_overhead:.1f} % "
             "of processed tokens",
         ]
+    if report.has_decode:
+        lines.append(
+            f"decode            : {report.n_decode_iters} iterations, "
+            f"{report.decode_tokens_per_s:.0f} tok/s generated, "
+            f"KV overflow {100 * report.kv_overflow:.1f} %"
+        )
     lines += [
         f"chip utilization  : mean {100 * report.mean_chip_utilization:.1f} %  "
         + " ".join(f"[{100 * u:.0f}%]" for u in report.chip_utilization),
@@ -737,6 +792,20 @@ def format_serving(report: ServingReport) -> str:
                 f"{m.tokens_per_s:.0f}",
                 f"{m.energy_per_token_nj:.3f}",
                 f"{100 * m.padding_overhead:.1f}%",
+            ]
+    if report.has_decode:
+        header += [
+            "ttft p50", "ttft p99", "itl p50", "itl p99", "dec tok",
+            "kv_overflow",
+        ]
+        for row, m in zip(rows, report.per_model):
+            row += [
+                f"{m.ttft_p50_ms:.4f}",
+                f"{m.ttft_p99_ms:.4f}",
+                f"{m.itl_p50_ms:.4f}",
+                f"{m.itl_p99_ms:.4f}",
+                f"{m.mean_decode_tokens:.1f}",
+                f"{100 * m.kv_overflow:.1f}%",
             ]
     lines.append(format_table(tuple(header), [tuple(r) for r in rows]))
     if report.has_tenants:

@@ -41,6 +41,7 @@ nanoseconds, ``tn`` omitted for the anonymous tenant ``""``)::
     {"ev":"scale","t":…,"kind":"up","n":2}                elastic
     {"ev":"throttle","t":…,"grp":"yoco","on":true}        governor
     {"ev":"spill","t":…,"src":"r0","dst":"r1"}            regions
+    {"ev":"dit","t":…,"chip":…,"m":…,"n":4,"ctx":144,"fin":…}  decode iter
     {"ev":"end","t":makespan}
 
 ``dsp.fin`` is the precomputed finish instant (so busy time is known at
@@ -130,6 +131,20 @@ class Observer:
     ) -> None:
         pass
 
+    def decode_iter(
+        self,
+        t_ns: float,
+        chip_id: int,
+        model: str,
+        n: int,
+        ctx: int,
+        finish_ns: float,
+    ) -> None:
+        """One decode iteration dispatched: ``n`` requests at the
+        page-rounded context ``ctx``, occupying ``chip_id`` until
+        ``finish_ns``.  Carries no request ids on purpose — a long
+        decode run emits millions of iterations."""
+
     def scale(self, t_ns: float, kind: str, n: int) -> None:
         pass
 
@@ -191,6 +206,10 @@ class MultiObserver(Observer):
             o.preempt(
                 t_ns, chip_id, model, tenant, requests, wasted, by, finish_ns
             )
+
+    def decode_iter(self, t_ns, chip_id, model, n, ctx, finish_ns) -> None:
+        for o in self.observers:
+            o.decode_iter(t_ns, chip_id, model, n, ctx, finish_ns)
 
     def scale(self, t_ns, kind, n) -> None:
         for o in self.observers:
@@ -335,6 +354,13 @@ class JsonlTraceSink(Observer):
             f'{{"ev":"pre","t":{t_ns!r},"chip":{chip_id},'
             f'"m":{_jname(self._names, model)}{self._tenant(tenant)},'
             f'"rids":[{rids}],"w":{wasted!r},"by":{json.dumps(by)},'
+            f'"fin":{finish_ns!r}}}\n'
+        )
+
+    def decode_iter(self, t_ns, chip_id, model, n, ctx, finish_ns) -> None:
+        self._write(
+            f'{{"ev":"dit","t":{t_ns!r},"chip":{chip_id},'
+            f'"m":{_jname(self._names, model)},"n":{n},"ctx":{ctx},'
             f'"fin":{finish_ns!r}}}\n'
         )
 
@@ -523,6 +549,18 @@ class ChromeTraceSink(Observer):
         if len(self._open) > self.max_open_spans:
             self.max_open_spans = len(self._open)
 
+    def decode_iter(self, t_ns, chip_id, model, n, ctx, finish_ns) -> None:
+        # Each iteration is its own complete X span on the chip's track:
+        # a decoding chip renders as a dense run of short spans, visually
+        # distinct from the long prefill spans.
+        self._emit(
+            f'{{"ph":"X","ts":{t_ns / 1e3!r},'
+            f'"dur":{(finish_ns - t_ns) / 1e3!r},'
+            f'"pid":{_PID_CHIPS},"tid":{chip_id},'
+            f'"name":{json.dumps(f"decode {model} x{n}")},'
+            f'"args":{{"n":{n},"ctx":{ctx}}}}}'
+        )
+
     def scale(self, t_ns, kind, n) -> None:
         self._instant("scale", t_ns, f"scale {kind}", {"n": n})
 
@@ -701,6 +739,13 @@ class MetricsRecorder(Observer):
         self._tick(t_ns)
         self._depth += len(requests)
         self._credit(t_ns, finish_ns, -1.0)
+
+    def decode_iter(self, t_ns, chip_id, model, n, ctx, finish_ns) -> None:
+        # Decode iterations occupy chips without a dispatch hook, so
+        # utilization credit lands here (queue depth is untouched: the
+        # requests left the queues at their prefill dispatch).
+        self._tick(t_ns)
+        self._credit(t_ns, finish_ns, 1.0)
 
     def power(self, t_ns, watts) -> None:
         # Integrate *before* ticking: draw is piecewise constant between

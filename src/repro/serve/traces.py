@@ -43,7 +43,11 @@ class Request:
     the workload the request belongs to; the empty string is the
     sentinel for untagged single-workload traffic (the legacy path —
     every generator here produces untagged requests, and
-    ``repro.serve.tenancy`` tags them per tenant).
+    ``repro.serve.tenancy`` tags them per tenant).  ``decode_tokens`` is
+    the request's sampled output length — the number of autoregressive
+    decode iterations after prefill; 0 is the sentinel for "no decode
+    loop" (the one-shot PR 2 semantics every generator here produces;
+    ``repro.serve.decode`` attaches sampled lengths).
     """
 
     request_id: int
@@ -51,6 +55,7 @@ class Request:
     arrival_ns: float
     seq_len: int = 0
     tenant: str = ""
+    decode_tokens: int = 0
 
     def __post_init__(self) -> None:
         if not self.model:
@@ -59,6 +64,8 @@ class Request:
             raise ValueError("arrival time must be non-negative")
         if self.seq_len < 0:
             raise ValueError("seq_len must be non-negative")
+        if self.decode_tokens < 0:
+            raise ValueError("decode_tokens must be non-negative")
 
 
 Trace = Tuple[Request, ...]
@@ -341,6 +348,16 @@ def with_seqlens(trace: Trace, seqlens: Sequence[int]) -> Trace:
     return tuple(
         dataclasses.replace(req, seq_len=int(s))
         for req, s in zip(trace, seqlens)
+    )
+
+
+def with_decode_lens(trace: Trace, lens: Sequence[int]) -> Trace:
+    """Attach one sampled output length to each request of a trace."""
+    if len(lens) != len(trace):
+        raise ValueError(f"{len(lens)} decode lengths for {len(trace)} requests")
+    return tuple(
+        dataclasses.replace(req, decode_tokens=int(v))
+        for req, v in zip(trace, lens)
     )
 
 

@@ -170,3 +170,56 @@ class TestServeCommand:
         assert "token goodput" not in out
         assert "sequence lengths" not in out
         assert "pad%" not in out
+
+
+class TestServeDecode:
+    def test_decode_run_reports_ttft_and_itl(self, capsys):
+        argv = ["serve", "--model", "mobilebert", "--chips", "2",
+                "--rps", "2000", "--duration", "0.02", "--seed", "0",
+                "--decode-dist", "lognormal"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        for token in ("decode            : lognormal (mean 32 tokens, "
+                      "unified serving)", "tok/s generated", "KV overflow",
+                      "ttft p50", "ttft p99", "itl p99", "dec tok",
+                      "kv_overflow"):
+            assert token in out
+
+    def test_prefill_decode_fleet_run_renders(self, capsys):
+        argv = ["serve", "--model", "mobilebert",
+                "--fleet", "yoco:2,isaac:2",
+                "--placement", "prefill-decode",
+                "--decode-dist", "uniform", "--decode-mean", "16",
+                "--rps", "2000", "--duration", "0.02", "--seed", "0"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "prefill-decode serving" in out
+        assert "mean 16 tokens" in out
+        assert "iterations" in out
+
+    def test_no_decode_dist_reproduces_legacy_report(self, capsys):
+        """Without --decode-dist the report is byte-identical to the
+        pre-decode output: no decode line, no TTFT/ITL columns."""
+        argv = ["serve", "--model", "mobilebert", "--chips", "2",
+                "--rps", "2000", "--seed", "0"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "decode " not in out
+        assert "ttft" not in out
+        assert "kv_overflow" not in out
+
+    def test_prefill_decode_needs_decode_dist(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--fleet", "yoco:2,isaac:2",
+                  "--placement", "prefill-decode"])
+
+    def test_decode_max_caps_the_flag_grammar(self, capsys):
+        argv = ["serve", "--model", "mobilebert", "--chips", "2",
+                "--rps", "2000", "--duration", "0.02", "--seed", "0",
+                "--decode-dist", "longtail", "--decode-max", "64"]
+        assert main(argv) == 0
+        assert "cap 64" in capsys.readouterr().out
+
+    def test_bad_decode_dist_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--decode-dist", "zipf"])

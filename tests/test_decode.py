@@ -1,0 +1,213 @@
+"""The autoregressive decode loop: accounting, pinning, KV residency.
+
+Covers the decode subsystem end to end at the run level:
+
+* token conservation and per-request timing invariants (TTFT stamps,
+  inter-token latency) on a plain decode run;
+* engine-level differential — a decode-armed engine fed a trace with no
+  decode tokens is object-for-object identical to the decode-free
+  engine, so the general path never drifts from the turbo path;
+* prefill-decode placement pinning, observed through the
+  ``decode_iter`` hook: prefill dispatches stay on group 0, every
+  decode iteration lands on groups 1+;
+* KV-cache residency — a model whose weights exhaust on-chip capacity
+  (``gpt_large``) spills its entire decode KV to off-chip
+  (``kv_overflow == 1.0``); a small model spills nothing;
+* graceful degeneracy (CNN-only runs decode nothing) and the trace/
+  engine contract errors.
+"""
+
+import pytest
+
+from repro.models.zoo import get_workload
+from repro.serve import (
+    BatchingPolicy,
+    Cluster,
+    DecodeConfig,
+    Observer,
+    ServingEngine,
+    sample_decode_lens,
+    simulate_serving,
+    with_decode_lens,
+)
+from repro.serve.traces import poisson_trace, with_seqlens, sample_seqlens
+
+DECODE = DecodeConfig(dist="lognormal", mean_tokens=8)
+
+
+def _decode_run(**overrides):
+    kwargs = dict(
+        models=["mobilebert"],
+        n_chips=2,
+        rps=2000.0,
+        duration_s=0.02,
+        decode=DECODE,
+    )
+    kwargs.update(overrides)
+    return simulate_serving(**kwargs)
+
+
+class TestDecodeRun:
+    def test_token_conservation_and_reporting(self):
+        report, result = _decode_run()
+        assert result.has_decode and report.has_decode
+        assert result.n_decode_tokens == sum(
+            s.decode_tokens for s in result.served
+        )
+        assert all(s.decode_tokens >= 1 for s in result.served)
+        # Iterations batch tokens: never more iterations than tokens,
+        # never fewer than the longest single request needs.
+        assert result.n_decode_iters <= result.n_decode_tokens
+        assert result.n_decode_iters >= max(
+            s.decode_tokens for s in result.served
+        )
+        assert report.n_decode_iters == result.n_decode_iters
+        assert report.decode_tokens_per_s > 0
+
+    def test_per_request_timing_invariants(self):
+        _, result = _decode_run()
+        for s in result.served:
+            # TTFT is the prefill completion edge: after arrival, before
+            # (or at) the final-token finish.
+            assert s.request.arrival_ns <= s.first_token_ns <= s.finish_ns
+            assert s.ttft_ns <= s.finish_ns - s.request.arrival_ns
+            assert s.itl_ns >= 0
+        m = _decode_run()[0].per_model[0]
+        assert 0 < m.ttft_p50_ms <= m.ttft_p99_ms
+        assert m.itl_p50_ms <= m.itl_p99_ms
+        assert m.mean_decode_tokens >= 1
+
+    def test_decode_off_is_the_legacy_engine(self):
+        with_none = _decode_run(decode=None)
+        legacy = simulate_serving(
+            models=["mobilebert"], n_chips=2, rps=2000.0, duration_s=0.02
+        )
+        assert with_none[0] == legacy[0]
+        assert with_none[1] == legacy[1]
+        assert not legacy[0].has_decode
+
+
+class TestEngineDifferential:
+    """A decode-armed engine on a zero-decode trace changes nothing."""
+
+    def test_zero_decode_trace_matches_no_decode_engine(self):
+        cluster = Cluster([get_workload("mobilebert")], n_chips=2)
+        trace = poisson_trace("mobilebert", 2000.0, 0.02, seed=0)
+        trace = with_seqlens(
+            trace, sample_seqlens("uniform", len(trace), 128, seed=7)
+        )
+        policy = BatchingPolicy(max_batch_size=4)
+        plain = ServingEngine(cluster, policy).run(trace)
+        armed = ServingEngine(cluster, policy, decode=DECODE).run(trace)
+        assert plain == armed
+        assert not armed.has_decode
+
+    def test_trace_decode_tokens_need_an_armed_engine(self):
+        cluster = Cluster([get_workload("mobilebert")], n_chips=2)
+        trace = poisson_trace("mobilebert", 2000.0, 0.01, seed=0)
+        trace = with_decode_lens(
+            trace, sample_decode_lens(DECODE, len(trace), seed=0)
+        )
+        with pytest.raises(ValueError, match="engine has no decode loop"):
+            ServingEngine(cluster).run(trace)
+
+    def test_decode_needs_a_token_axis(self):
+        cluster = Cluster([get_workload("resnet18")], n_chips=2)
+        trace = poisson_trace("resnet18", 2000.0, 0.01, seed=0)
+        trace = with_decode_lens(trace, (4,) * len(trace))
+        with pytest.raises(ValueError, match="no token axis"):
+            ServingEngine(cluster, decode=DECODE).run(trace)
+
+
+class _ChipCollector(Observer):
+    """Record which chips host prefill dispatches vs decode iterations."""
+
+    def __init__(self):
+        self.dispatch_chips = set()
+        self.decode_chips = set()
+        self.decode_iters = 0
+        self.decode_reqs = 0
+
+    def dispatch(
+        self, t_ns, chip_id, model, tenant, requests, finish_ns, overhead_ns
+    ):
+        self.dispatch_chips.add(chip_id)
+
+    def decode_iter(self, t_ns, chip_id, model, n, ctx, finish_ns):
+        assert n >= 1 and ctx >= 1 and finish_ns >= t_ns
+        self.decode_chips.add(chip_id)
+        self.decode_iters += 1
+        self.decode_reqs += n
+
+
+class TestPrefillDecodePlacement:
+    def test_decode_iterations_pin_to_the_decode_group(self):
+        collector = _ChipCollector()
+        _, result = simulate_serving(
+            models=["mobilebert"],
+            fleet="yoco:2,isaac:2",
+            placement="prefill-decode",
+            rps=2000.0,
+            duration_s=0.02,
+            decode=DECODE,
+            observe=collector,
+        )
+        # Fleet group 0 (yoco:2) = chips {0, 1}; group 1 (isaac:2) = {2, 3}.
+        assert collector.dispatch_chips <= {0, 1}
+        assert collector.decode_chips <= {2, 3}
+        assert collector.decode_iters == result.n_decode_iters
+        assert collector.decode_reqs == result.n_decode_tokens
+        # Every request finishes its last token on a decode chip.
+        assert all(s.chip_id in {2, 3} for s in result.served)
+
+    def test_unified_placement_decodes_everywhere(self):
+        collector = _ChipCollector()
+        simulate_serving(
+            models=["mobilebert"],
+            fleet="yoco:2,isaac:2",
+            rps=4000.0,
+            duration_s=0.05,
+            decode=DECODE,
+            observe=collector,
+        )
+        # Replicated placement leaves every chip eligible for both
+        # phases: decode iterations land outside the would-be decode
+        # group (fastest routing favors the YOCO chips 0-1).
+        assert collector.decode_chips - {2, 3}
+
+
+class TestKvResidency:
+    def test_oversized_weights_spill_all_decode_kv(self):
+        # gpt_large's weights alone exhaust on-chip capacity, so the KV
+        # cache has zero residual budget: every decode byte streams at
+        # off-chip cost and the overflow share saturates.
+        report, result = simulate_serving(
+            models=["gpt_large"],
+            n_chips=2,
+            rps=200.0,
+            duration_s=0.02,
+            decode=DecodeConfig(dist="fixed", mean_tokens=8),
+        )
+        assert result.kv_bytes > 0
+        assert result.kv_overflow == 1.0
+        assert report.kv_overflow == 1.0
+
+    def test_small_model_keeps_kv_resident(self):
+        report, result = _decode_run()
+        assert result.kv_bytes > 0
+        assert result.kv_overflow == 0.0
+        assert report.kv_overflow == 0.0
+
+
+class TestNoTokenAxis:
+    def test_cnn_run_with_decode_config_decodes_nothing(self):
+        # decode= on a CNN-only workload is a no-op (no token axis, so
+        # no decode lengths are ever attached), not an error.
+        report, result = _decode_run(models=["resnet18"])
+        assert result.n_decode_tokens == 0
+        assert not result.has_decode
+        assert not report.has_decode
+        legacy = simulate_serving(
+            models=["resnet18"], n_chips=2, rps=2000.0, duration_s=0.02
+        )
+        assert report == legacy[0] and result == legacy[1]
